@@ -1,0 +1,231 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/lowdeg"
+	"repro/internal/matching"
+	"repro/internal/mis"
+	"repro/internal/simcost"
+)
+
+// Graph is an immutable undirected graph in CSR form (node ids dense in
+// [0, N)). Construct with NewBuilder or FromEdges.
+type Graph = graph.Graph
+
+// Edge is an undirected edge; the canonical form has U < V.
+type Edge = graph.Edge
+
+// NodeID identifies a node.
+type NodeID = graph.NodeID
+
+// Builder accumulates edges for a Graph.
+type Builder = graph.Builder
+
+// NewBuilder returns a builder for a graph on n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph on n nodes from an edge list (duplicates and
+// self loops are dropped).
+func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
+// Generate builds a named synthetic workload ("gnm", "gnp", "powerlaw",
+// "regular", "grid", "complete", "star", "path", "cycle", "tree",
+// "caterpillar", "bipartite") with roughly n nodes and the given average
+// degree, deterministically from seed.
+func Generate(family string, n, avgDeg int, seed uint64) (*Graph, error) {
+	return gen.ByName(family, n, avgDeg, seed)
+}
+
+// Strategy selects which of the paper's algorithms to run.
+type Strategy string
+
+const (
+	// StrategyAuto dispatches per Theorem 1: the Section 5 low-degree path
+	// when Δ⁴ fits the machine budget, otherwise the sparsification path.
+	StrategyAuto Strategy = "auto"
+	// StrategySparsify forces the Section 3/4 O(log n) algorithms.
+	StrategySparsify Strategy = "sparsify"
+	// StrategyLowDegree forces the Section 5 O(log Δ + log log n)
+	// algorithm (correct for any input; space violations are recorded when
+	// Δ is too large for the regime).
+	StrategyLowDegree Strategy = "lowdeg"
+)
+
+// Options configure the algorithms. The zero value (and nil) mean: ε = 0.5,
+// the paper's δ = ε/8 coupling, slack 4, half-expectation thresholds,
+// automatic strategy, cost tracking on.
+type Options struct {
+	// Epsilon is the per-machine space exponent (S = Θ(n^ε)), in (0, 1].
+	Epsilon float64
+	// Slack relaxes the asymptotic concentration constants (DESIGN.md
+	// substitution 4). Must be positive.
+	Slack float64
+	// ThresholdFrac is the fraction of each proven expectation bound the
+	// deterministic seed search must reach, in (0, 1].
+	ThresholdFrac float64
+	// Strategy picks the algorithm; default StrategyAuto.
+	Strategy Strategy
+	// SkipCostTracking disables the MPC round/space cost model (the result
+	// then has a nil CostReport). Tracking is on by default; its overhead
+	// is negligible.
+	SkipCostTracking bool
+	// Serial disables host-parallel seed evaluation (results are identical
+	// either way; only wall-clock time changes).
+	Serial bool
+}
+
+func (o *Options) params() core.Params {
+	p := core.DefaultParams()
+	if o == nil {
+		return p
+	}
+	if o.Epsilon != 0 {
+		p = p.WithEpsilon(o.Epsilon)
+	}
+	if o.Slack != 0 {
+		p.Slack = o.Slack
+	}
+	if o.ThresholdFrac != 0 {
+		p.ThresholdFrac = o.ThresholdFrac
+	}
+	p.Parallel = !o.Serial
+	return p
+}
+
+func (o *Options) strategy() Strategy {
+	if o == nil || o.Strategy == "" {
+		return StrategyAuto
+	}
+	return o.Strategy
+}
+
+func (o *Options) trackCosts() bool {
+	return o == nil || !o.SkipCostTracking
+}
+
+// CostReport summarises the MPC execution costs of a run under the paper's
+// accounting (see internal/simcost and DESIGN.md).
+type CostReport struct {
+	Rounds           int
+	Machines         int
+	SpacePerMachine  int
+	PeakMachineWords int
+	SeedBatches      int
+	Violations       []string
+}
+
+func report(m *simcost.Model) *CostReport {
+	if m == nil {
+		return nil
+	}
+	st := m.Stats()
+	return &CostReport{
+		Rounds:           st.Rounds,
+		Machines:         st.Machines,
+		SpacePerMachine:  st.S,
+		PeakMachineWords: st.PeakMachineWords,
+		SeedBatches:      st.SeedBatches,
+		Violations:       st.Violations,
+	}
+}
+
+// MatchingResult is the output of MaximalMatching.
+type MatchingResult struct {
+	Edges      []Edge
+	Iterations int
+	Strategy   Strategy
+	Costs      *CostReport
+}
+
+// MISResult is the output of MaximalIndependentSet.
+type MISResult struct {
+	Nodes      []NodeID
+	Iterations int
+	Strategy   Strategy
+	Costs      *CostReport
+}
+
+// ErrNilGraph is returned when the input graph is nil.
+var ErrNilGraph = errors.New("repro: nil graph")
+
+// MaximalMatching computes a maximal matching of g deterministically
+// (Theorem 1). opts may be nil for defaults. The result is verified
+// maximal before returning.
+func MaximalMatching(g *Graph, opts *Options) (*MatchingResult, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	p := opts.params()
+	var model *simcost.Model
+	if opts.trackCosts() {
+		model = simcost.New(g.N(), g.M(), p.Epsilon)
+	}
+	strat := opts.strategy()
+	if strat == StrategyAuto {
+		if lowdeg.Suitable(g, p, model) {
+			strat = StrategyLowDegree
+		} else {
+			strat = StrategySparsify
+		}
+	}
+	var out *MatchingResult
+	switch strat {
+	case StrategyLowDegree:
+		res := lowdeg.MaximalMatching(g, p, model)
+		out = &MatchingResult{Edges: res.Matching, Iterations: len(res.MIS.Phases), Strategy: strat}
+	case StrategySparsify:
+		res := matching.Deterministic(g, p, model)
+		out = &MatchingResult{Edges: res.Matching, Iterations: len(res.Iterations), Strategy: strat}
+	default:
+		return nil, fmt.Errorf("repro: unknown strategy %q", strat)
+	}
+	if ok, reason := check.IsMaximalMatching(g, out.Edges); !ok {
+		return nil, fmt.Errorf("repro: internal error, output not maximal: %s", reason)
+	}
+	out.Costs = report(model)
+	return out, nil
+}
+
+// MaximalIndependentSet computes an MIS of g deterministically (Theorem 1).
+// opts may be nil for defaults. The result is verified maximal before
+// returning.
+func MaximalIndependentSet(g *Graph, opts *Options) (*MISResult, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	p := opts.params()
+	var model *simcost.Model
+	if opts.trackCosts() {
+		model = simcost.New(g.N(), g.M(), p.Epsilon)
+	}
+	strat := opts.strategy()
+	if strat == StrategyAuto {
+		if lowdeg.Suitable(g, p, model) {
+			strat = StrategyLowDegree
+		} else {
+			strat = StrategySparsify
+		}
+	}
+	var out *MISResult
+	switch strat {
+	case StrategyLowDegree:
+		res := lowdeg.MIS(g, p, model)
+		out = &MISResult{Nodes: res.IndependentSet, Iterations: len(res.Phases), Strategy: strat}
+	case StrategySparsify:
+		res := mis.Deterministic(g, p, model)
+		out = &MISResult{Nodes: res.IndependentSet, Iterations: len(res.Iterations), Strategy: strat}
+	default:
+		return nil, fmt.Errorf("repro: unknown strategy %q", strat)
+	}
+	if ok, reason := check.IsMaximalIS(g, out.Nodes); !ok {
+		return nil, fmt.Errorf("repro: internal error, output not maximal: %s", reason)
+	}
+	out.Costs = report(model)
+	return out, nil
+}

@@ -1,0 +1,217 @@
+package repro
+
+// The benchmark harness: one benchmark per reproduction table/figure (see
+// DESIGN.md's per-experiment index and EXPERIMENTS.md). Each benchmark
+// times the end-to-end computation behind its experiment at quick scale;
+// `go run ./cmd/experiments` regenerates the actual tables.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/cclique"
+	"repro/internal/core"
+	"repro/internal/detrand"
+	"repro/internal/experiments"
+	"repro/internal/graph/gen"
+	"repro/internal/lowdeg"
+	"repro/internal/luby"
+	"repro/internal/matching"
+	"repro/internal/mis"
+	"repro/internal/mpc"
+	"repro/internal/simcost"
+	"repro/internal/sparsify"
+)
+
+func quickCfg() experiments.Config { return experiments.Config{Quick: true, Seed: 1} }
+
+// BenchmarkT1_MatchingRounds times the Theorem 7 pipeline (deterministic
+// maximal matching with full MPC accounting) on the T1 workload.
+func BenchmarkT1_MatchingRounds(b *testing.B) {
+	g := gen.GNM(1<<12, 8<<12, 1)
+	p := core.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model := simcost.New(g.N(), g.M(), p.Epsilon)
+		matching.Deterministic(g, p, model)
+	}
+}
+
+// BenchmarkT2_MISRounds times the Theorem 14 pipeline on the T2 workload.
+func BenchmarkT2_MISRounds(b *testing.B) {
+	g := gen.GNM(1<<12, 8<<12, 1)
+	p := core.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model := simcost.New(g.N(), g.M(), p.Epsilon)
+		mis.Deterministic(g, p, model)
+	}
+}
+
+// BenchmarkT3_ProgressPerIteration times a single derandomized Luby
+// iteration (sparsify + seed search + removal), the unit T3 audits.
+func BenchmarkT3_ProgressPerIteration(b *testing.B) {
+	g := gen.GNM(1<<12, 16<<12, 1)
+	p := core.DefaultParams()
+	p.MaxSeedsPerSearch = 1 << 12
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparsify.SparsifyEdges(g, p, nil)
+	}
+}
+
+// BenchmarkT4_SparsifyInvariants times the node sparsification with its
+// invariant audit (the T4b path).
+func BenchmarkT4_SparsifyInvariants(b *testing.B) {
+	g := gen.GNM(1<<11, 48<<11, 1)
+	p := core.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparsify.SparsifyNodes(g, p, nil)
+	}
+}
+
+// BenchmarkT5_LowDegreeStages times the Section 5 stage-compressed MIS on a
+// bounded-degree workload.
+func BenchmarkT5_LowDegreeStages(b *testing.B) {
+	g := gen.RandomRegular(1<<12, 8, 1)
+	p := core.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lowdeg.MIS(g, p, nil)
+	}
+}
+
+// BenchmarkT6_CongestedClique times the Corollary 2 CC MIS with both round
+// accountings.
+func BenchmarkT6_CongestedClique(b *testing.B) {
+	g := gen.RandomRegular(1<<10, 8, 1)
+	p := core.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cclique.DetMIS(g, p)
+	}
+}
+
+// BenchmarkT7_SeedSearch times the batched deterministic seed search in
+// isolation: evaluating 64 candidate seeds of the matching-selection
+// objective over a fixed E* (one charged O(1)-round batch).
+func BenchmarkT7_SeedSearch(b *testing.B) {
+	g := gen.GNM(1<<12, 8<<12, 1)
+	p := core.DefaultParams()
+	sp := sparsify.SparsifyEdges(g, p, nil)
+	edges := sp.EStar.Edges()
+	fam := core.PairwiseFamily(g.N())
+	n := g.N()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := fam.Enumerate()
+		for count := 0; e.Next() && count < 64; count++ {
+			seed := e.Seed()
+			core.LocalMinEdges(sp.EStar, edges, func(ed Edge) uint64 {
+				return fam.Eval(seed, core.SlotKey(ed.Key(n), 0, n))
+			})
+		}
+	}
+}
+
+// BenchmarkT8_Lemma4Primitives times the message-level sample sort plus
+// prefix sums at the T8 grid's middle point.
+func BenchmarkT8_Lemma4Primitives(b *testing.B) {
+	r := detrand.New(1)
+	data := make([]uint64, 1<<14)
+	for i := range data {
+		data[i] = r.Uint64() % 1_000_000
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := mpc.NewCluster(mpc.Config{Machines: 32, Space: 1 << 11})
+		if err := c.LoadBalanced(data); err != nil {
+			b.Fatal(err)
+		}
+		if err := mpc.Sort(c); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mpc.PrefixSum(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT9_SpaceAblation times the edge sparsification plus the 2-hop
+// ball measurement that the ablation compares.
+func BenchmarkT9_SpaceAblation(b *testing.B) {
+	g := gen.GNM(1<<11, 24<<11, 1)
+	p := core.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		er := sparsify.SparsifyEdges(g, p, nil)
+		_ = er.EStar.BallSizeMax(2)
+	}
+}
+
+// BenchmarkF1_EdgeDecay times one deterministic and one randomized full run
+// (the two curves of F1).
+func BenchmarkF1_EdgeDecay(b *testing.B) {
+	g := gen.GNM(1<<11, 8<<11, 1)
+	p := core.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mis.Deterministic(g, p, nil)
+		luby.MIS(g, detrand.New(1))
+	}
+}
+
+// BenchmarkF2_RoundScaling times the full F2 figure generation at quick
+// scale (the n-sweep and Δ-sweep).
+func BenchmarkF2_RoundScaling(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("F2", quickCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations_SlackSweep times the A4 ablation's unit: one edge
+// sparsification under the strictest (slack = 1) goodness predicates,
+// which exercises the deep-scan path of the seed search.
+func BenchmarkAblations_SlackSweep(b *testing.B) {
+	g := gen.GNM(1<<11, 24<<11, 1)
+	p := core.DefaultParams()
+	p.Slack = 1
+	p.MaxSeedsPerSearch = 512
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparsify.SparsifyEdges(g, p, nil)
+	}
+}
+
+// BenchmarkPublicAPI_MIS times the façade end to end (what a downstream
+// user calls).
+func BenchmarkPublicAPI_MIS(b *testing.B) {
+	g, err := Generate("powerlaw", 1<<12, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaximalIndependentSet(g, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var _ = io.Discard

@@ -1,0 +1,37 @@
+// Package repro is a Go reproduction of "Graph Sparsification for
+// Derandomizing Massively Parallel Computation with Low Space" (Czumaj,
+// Davies, Parter — SPAA 2020, arXiv:1912.05390): deterministic, fully
+// scalable MPC algorithms for Maximal Matching and Maximal Independent Set
+// running in O(log Δ + log log n) rounds with O(n^ε) words of space per
+// machine, built on the paper's deterministic graph sparsification
+// technique, plus the O(log Δ)-round CONGESTED CLIQUE corollaries.
+//
+// The root package is the public API. Build a graph, then call
+// MaximalMatching or MaximalIndependentSet:
+//
+//	b := repro.NewBuilder(4)
+//	b.AddEdge(0, 1)
+//	b.AddEdge(1, 2)
+//	b.AddEdge(2, 3)
+//	g := b.Build()
+//	res, err := repro.MaximalMatching(g, nil)
+//
+// Both entry points dispatch per Theorem 1: graphs whose maximum degree is
+// small enough that Δ⁴ and the 2ℓ-hop neighbourhoods fit within a machine's
+// space budget take the Section 5 stage-compressed path
+// (O(log Δ + log log n) rounds); all others take the Section 3/4
+// sparsification path (O(log n) rounds). Options selects ε, the
+// derandomization thresholds, and whether to track MPC round/space costs;
+// results carry the output, iteration counts and an optional CostReport.
+//
+// Everything the algorithms rely on is implemented in this module under
+// internal/: the MPC cluster simulator with Lemma 4's constant-round
+// sorting and prefix sums (internal/mpc), the round/space cost model
+// (internal/simcost), k-wise independent hash families (internal/hashfam),
+// the method of conditional expectations (internal/condexp), the
+// deterministic edge/node sparsification (internal/sparsify), Linial
+// colouring of G² (internal/coloring), the CONGESTED CLIQUE layer
+// (internal/cclique), randomized baselines (internal/luby) and the
+// experiment suite reproducing every claim (internal/experiments, see
+// DESIGN.md and EXPERIMENTS.md).
+package repro

@@ -1,0 +1,42 @@
+// CONGESTED CLIQUE example (Corollary 2): run the deterministic MIS in the
+// CC model on bounded-degree graphs and compare its O(log Δ) round count
+// against the prior state of the art, the O(log Δ·log n) derandomization of
+// Censor-Hillel et al. [15] (round-accounting baseline; see DESIGN.md).
+//
+// Run with: go run ./examples/congestedclique
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cclique"
+	"repro/internal/core"
+	"repro/internal/graph/gen"
+)
+
+func main() {
+	p := core.DefaultParams()
+	fmt.Println("CONGESTED CLIQUE deterministic MIS (Corollary 2) vs Censor-Hillel et al. [15]")
+	fmt.Println()
+	fmt.Printf("%6s %4s %7s %7s %11s %12s %8s\n",
+		"n", "Δ", "stages", "phases", "rounds-det", "rounds-CH15", "speedup")
+	for _, n := range []int{1 << 10, 1 << 12} {
+		for _, d := range []int{4, 8, 16} {
+			g := gen.RandomRegular(n, d, uint64(n+d))
+			res := cclique.DetMIS(g, p)
+			fmt.Printf("%6d %4d %7d %7d %11d %12d %7.1fx\n",
+				n, g.MaxDegree(), res.Stages, res.Phases,
+				res.RoundsDet, res.RoundsCH15,
+				float64(res.RoundsCH15)/float64(res.RoundsDet))
+		}
+	}
+	fmt.Println()
+	fmt.Println("reading: rounds-det grows with log Δ but is nearly flat in n;")
+	fmt.Println("rounds-CH15 carries an extra log n factor, so the speedup widens with n.")
+
+	// Maximal matching through the same machinery (line graph simulation).
+	g := gen.Grid2D(32, 32)
+	mm := cclique.DetMatching(g, p)
+	fmt.Printf("\nmatching on a 32x32 grid: %d edges, %d rounds (vs %d for CH15)\n",
+		len(mm.Matching), mm.RoundsDet, mm.RoundsCH15)
+}

@@ -1,0 +1,89 @@
+// Scheduling example: maximal matching as a one-shot task-pairing round.
+// Workers are nodes; an edge means two workers can share a shift. A maximal
+// matching pairs as many compatible workers as possible such that no two
+// unpaired compatible workers remain — and because the algorithm is
+// deterministic, the schedule is reproducible from the compatibility graph
+// alone (no coordinator coin flips to record).
+//
+// Compatibility here is synthetic: worker i is compatible with workers that
+// share a skill bucket or sit within distance 2 on the org chart (a random
+// tree), producing an irregular low-ish degree graph that exercises the
+// Theorem 1 dispatcher.
+//
+// Run with: go run ./examples/scheduling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/detrand"
+)
+
+func main() {
+	const workers = 3000
+	r := detrand.New(2026)
+
+	b := repro.NewBuilder(workers)
+	// Org chart: random tree; colleagues within distance <= 2 can pair.
+	parent := make([]int, workers)
+	for v := 1; v < workers; v++ {
+		parent[v] = r.Intn(v)
+		b.AddEdge(repro.NodeID(v), repro.NodeID(parent[v]))
+		if parent[v] != 0 {
+			b.AddEdge(repro.NodeID(v), repro.NodeID(parent[parent[v]]))
+		}
+	}
+	// Skill buckets: a few hundred cliques of size ~6.
+	const bucketSize = 6
+	for start := 0; start+bucketSize <= workers; start += bucketSize * 3 {
+		for i := start; i < start+bucketSize; i++ {
+			for j := i + 1; j < start+bucketSize; j++ {
+				b.AddEdge(repro.NodeID(i), repro.NodeID(j))
+			}
+		}
+	}
+	g := b.Build()
+	fmt.Printf("compatibility graph: n=%d m=%d Δ=%d\n\n", g.N(), g.M(), g.MaxDegree())
+
+	res, err := repro.MaximalMatching(g, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	paired := 2 * len(res.Edges)
+	fmt.Printf("schedule: %d pairs (%d of %d workers paired, %.1f%%)\n",
+		len(res.Edges), paired, workers, 100*float64(paired)/float64(workers))
+	fmt.Printf("computed in %d iterations / %d charged MPC rounds via strategy %q\n\n",
+		res.Iterations, res.Costs.Rounds, res.Strategy)
+
+	// Maximality in scheduling terms: every unpaired worker has no
+	// unpaired compatible colleague (the API verifies this; recount here
+	// for the narrative).
+	pairedMask := make([]bool, workers)
+	for _, e := range res.Edges {
+		pairedMask[e.U] = true
+		pairedMask[e.V] = true
+	}
+	wasted := 0
+	for v := 0; v < workers; v++ {
+		if pairedMask[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(repro.NodeID(v)) {
+			if !pairedMask[u] {
+				wasted++
+				break
+			}
+		}
+	}
+	fmt.Printf("unpaired workers with an unpaired compatible colleague: %d (maximality => 0)\n", wasted)
+
+	fmt.Println("\nfirst five pairs:")
+	for i, e := range res.Edges {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  worker %4d <-> worker %4d\n", e.U, e.V)
+	}
+}

@@ -1,0 +1,139 @@
+// Package apps derives the classical corollaries of maximal matching and
+// MIS, in the spirit of the paper's conclusion that its derandomization
+// framework feeds many downstream problems. Everything here inherits the
+// deterministic O(log Δ + log log n) MPC round bounds of Theorem 1, since
+// each reduction costs O(1) extra rounds:
+//
+//   - 2-approximate minimum vertex cover: the endpoints of any maximal
+//     matching (lower bound |M| <= OPT, upper bound 2|M|).
+//   - dominating set: any MIS dominates every node (maximality).
+//   - 2-ruling set: any MIS is one (members pairwise at distance >= 2,
+//     every node at distance <= 1 from a member).
+//   - (2, k)-ruling-set verification for the general definition.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/matching"
+	"repro/internal/mis"
+	"repro/internal/simcost"
+)
+
+// VertexCover computes a deterministic 2-approximate minimum vertex cover:
+// the endpoint set of the Theorem 7 maximal matching. The returned
+// MatchingSize is a certified lower bound on the optimum (any vertex cover
+// must pick an endpoint of each matching edge), so
+// OPT <= len(Cover) <= 2·OPT.
+type VertexCover struct {
+	Cover        []graph.NodeID
+	MatchingSize int
+}
+
+// VertexCover2Approx runs the reduction on g.
+func VertexCover2Approx(g *graph.Graph, p core.Params, model *simcost.Model) *VertexCover {
+	res := matching.Deterministic(g, p, model)
+	model.ChargeRounds(1, "apps.vc") // endpoints announce themselves
+	in := make([]bool, g.N())
+	out := &VertexCover{MatchingSize: len(res.Matching)}
+	for _, e := range res.Matching {
+		for _, v := range [2]graph.NodeID{e.U, e.V} {
+			if !in[v] {
+				in[v] = true
+				out.Cover = append(out.Cover, v)
+			}
+		}
+	}
+	return out
+}
+
+// VerifyVertexCover returns an error unless cover touches every edge of g.
+func VerifyVertexCover(g *graph.Graph, cover []graph.NodeID) error {
+	in := make([]bool, g.N())
+	for _, v := range cover {
+		in[v] = true
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			if graph.NodeID(u) < v && !in[u] && !in[v] {
+				return fmt.Errorf("apps: edge {%d,%d} uncovered", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// DominatingSet computes a deterministic dominating set as the Theorem 14
+// MIS (maximal independence implies domination). The size is at most
+// n and at least n/(Δ+1); no approximation guarantee versus minimum
+// dominating set is claimed (none follows from MIS).
+func DominatingSet(g *graph.Graph, p core.Params, model *simcost.Model) []graph.NodeID {
+	res := mis.Deterministic(g, p, model)
+	model.ChargeRounds(1, "apps.ds")
+	return res.IndependentSet
+}
+
+// VerifyDominatingSet returns an error unless every node is in the set or
+// adjacent to a member.
+func VerifyDominatingSet(g *graph.Graph, set []graph.NodeID) error {
+	in := make([]bool, g.N())
+	for _, v := range set {
+		in[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if in[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if in[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return fmt.Errorf("apps: node %d undominated", v)
+		}
+	}
+	return nil
+}
+
+// TwoRulingSet computes a (2,1)-ruling set (= an MIS): members pairwise
+// non-adjacent, every node within distance 1 of a member.
+func TwoRulingSet(g *graph.Graph, p core.Params, model *simcost.Model) []graph.NodeID {
+	return DominatingSet(g, p, model)
+}
+
+// VerifyRulingSet checks the general (alpha, beta) ruling-set condition:
+// members pairwise at distance >= alpha, every node at distance <= beta
+// from some member.
+func VerifyRulingSet(g *graph.Graph, set []graph.NodeID, alpha, beta int) error {
+	in := make([]bool, g.N())
+	for _, v := range set {
+		in[v] = true
+	}
+	// Pairwise distance >= alpha: no member may appear in another member's
+	// (alpha-1)-ball.
+	for _, v := range set {
+		for _, u := range g.Ball(v, alpha-1) {
+			if u != v && in[u] {
+				return fmt.Errorf("apps: members %d and %d within distance %d", v, u, alpha-1)
+			}
+		}
+	}
+	// Coverage: every node within distance beta of a member.
+	covered := make([]bool, g.N())
+	for _, v := range set {
+		for _, u := range g.Ball(v, beta) {
+			covered[u] = true
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if !covered[v] {
+			return fmt.Errorf("apps: node %d beyond distance %d from all members", v, beta)
+		}
+	}
+	return nil
+}

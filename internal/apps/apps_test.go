@@ -1,0 +1,118 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/simcost"
+)
+
+func params() core.Params { return core.DefaultParams() }
+
+func TestVertexCoverCoversAndApproximates(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"gnm":      gen.GNM(500, 2000, 1),
+		"star":     gen.Star(64),
+		"complete": gen.Complete(30),
+		"grid":     gen.Grid2D(12, 12),
+		"powerlaw": gen.PowerLaw(400, 1600, 2.5, 2),
+	} {
+		vc := VertexCover2Approx(g, params(), nil)
+		if err := VerifyVertexCover(g, vc.Cover); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		// 2-approximation certificate: |cover| <= 2·|M| <= 2·OPT.
+		if len(vc.Cover) > 2*vc.MatchingSize {
+			t.Errorf("%s: cover %d > 2×matching %d", name, len(vc.Cover), vc.MatchingSize)
+		}
+		// And the matching is a valid lower bound: cover can't be smaller.
+		if len(vc.Cover) < vc.MatchingSize {
+			t.Errorf("%s: cover %d < matching %d", name, len(vc.Cover), vc.MatchingSize)
+		}
+	}
+}
+
+func TestVertexCoverStarIsTight(t *testing.T) {
+	// Star: OPT = 1 (the centre); the reduction returns <= 2.
+	vc := VertexCover2Approx(gen.Star(100), params(), nil)
+	if len(vc.Cover) > 2 {
+		t.Errorf("star cover size %d, want <= 2", len(vc.Cover))
+	}
+}
+
+func TestVertexCoverEmpty(t *testing.T) {
+	vc := VertexCover2Approx(graph.Empty(10), params(), nil)
+	if len(vc.Cover) != 0 || vc.MatchingSize != 0 {
+		t.Error("empty graph has nonempty cover")
+	}
+}
+
+func TestVerifyVertexCoverCatchesGaps(t *testing.T) {
+	g := gen.Path(4)
+	if err := VerifyVertexCover(g, []graph.NodeID{0}); err == nil {
+		t.Error("uncovered edge accepted")
+	}
+	if err := VerifyVertexCover(g, []graph.NodeID{1, 2}); err != nil {
+		t.Errorf("valid cover rejected: %v", err)
+	}
+}
+
+func TestDominatingSet(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"gnm":  gen.GNM(400, 1600, 3),
+		"tree": gen.RandomTree(300, 4),
+		"star": gen.Star(50),
+	} {
+		ds := DominatingSet(g, params(), nil)
+		if err := VerifyDominatingSet(g, ds); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		// MIS size lower bound n/(Δ+1) carries over.
+		if minSize := g.N() / (g.MaxDegree() + 1); len(ds) < minSize {
+			t.Errorf("%s: dominating set %d < n/(Δ+1) = %d", name, len(ds), minSize)
+		}
+	}
+}
+
+func TestVerifyDominatingSetCatches(t *testing.T) {
+	g := gen.Path(5)
+	if err := VerifyDominatingSet(g, []graph.NodeID{0}); err == nil {
+		t.Error("non-dominating set accepted")
+	}
+}
+
+func TestTwoRulingSet(t *testing.T) {
+	g := gen.GNM(300, 1200, 7)
+	rs := TwoRulingSet(g, params(), nil)
+	if err := VerifyRulingSet(g, rs, 2, 1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyRulingSetCatchesViolations(t *testing.T) {
+	g := gen.Path(5) // 0-1-2-3-4
+	// Adjacent members violate alpha=2.
+	if err := VerifyRulingSet(g, []graph.NodeID{0, 1}, 2, 3); err == nil {
+		t.Error("adjacent members accepted")
+	}
+	// Node 4 beyond distance 1 of {0}.
+	if err := VerifyRulingSet(g, []graph.NodeID{0}, 2, 1); err == nil {
+		t.Error("uncovered node accepted")
+	}
+	// {0, 3} is a valid (2,1)... node 1 at distance 1 of 0, node 2 at
+	// distance 1 of 3, node 4 at distance 1 of 3.
+	if err := VerifyRulingSet(g, []graph.NodeID{0, 3}, 2, 1); err != nil {
+		t.Errorf("valid ruling set rejected: %v", err)
+	}
+}
+
+func TestAppsChargeModel(t *testing.T) {
+	g := gen.GNM(256, 1024, 9)
+	model := simcost.New(g.N(), g.M(), 0.5)
+	VertexCover2Approx(g, params(), model)
+	if model.Stats().RoundsByLabel["apps.vc"] != 1 {
+		t.Error("vertex-cover reduction round not charged")
+	}
+}

@@ -1,0 +1,97 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+)
+
+func path4() *graph.Graph { return gen.Path(4) } // 0-1-2-3
+
+func TestIsMatching(t *testing.T) {
+	g := path4()
+	if ok, _ := IsMatching(g, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}); !ok {
+		t.Error("valid matching rejected")
+	}
+	if ok, reason := IsMatching(g, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}); ok {
+		t.Error("overlapping edges accepted")
+	} else if reason == "" {
+		t.Error("missing reason")
+	}
+	if ok, _ := IsMatching(g, []graph.Edge{{U: 0, V: 3}}); ok {
+		t.Error("non-edge accepted")
+	}
+	if ok, _ := IsMatching(g, nil); !ok {
+		t.Error("empty matching rejected")
+	}
+}
+
+func TestIsMaximalMatching(t *testing.T) {
+	g := path4()
+	if ok, _ := IsMaximalMatching(g, []graph.Edge{{U: 1, V: 2}}); !ok {
+		t.Error("maximal matching {1-2} rejected")
+	}
+	if ok, _ := IsMaximalMatching(g, []graph.Edge{{U: 0, V: 1}}); ok {
+		t.Error("non-maximal matching accepted (2-3 addable)")
+	}
+	if ok, _ := IsMaximalMatching(gen.Complete(4), []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}); !ok {
+		t.Error("perfect matching of K4 rejected")
+	}
+	// Empty graph: the empty matching is maximal.
+	if ok, _ := IsMaximalMatching(graph.Empty(5), nil); !ok {
+		t.Error("empty matching on empty graph rejected")
+	}
+}
+
+func TestIsIndependentSet(t *testing.T) {
+	g := path4()
+	if ok, _ := IsIndependentSet(g, []graph.NodeID{0, 2}); !ok {
+		t.Error("valid IS rejected")
+	}
+	if ok, _ := IsIndependentSet(g, []graph.NodeID{0, 1}); ok {
+		t.Error("adjacent pair accepted")
+	}
+	if ok, _ := IsIndependentSet(g, []graph.NodeID{0, 0}); ok {
+		t.Error("duplicate accepted")
+	}
+	if ok, _ := IsIndependentSet(g, []graph.NodeID{9}); ok {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func TestIsMaximalIS(t *testing.T) {
+	g := path4()
+	if ok, _ := IsMaximalIS(g, []graph.NodeID{0, 2}); !ok {
+		t.Error("maximal IS {0,2} rejected")
+	}
+	if ok, _ := IsMaximalIS(g, []graph.NodeID{1}); ok {
+		t.Error("non-maximal IS accepted (3 addable)")
+	}
+	if ok, _ := IsMaximalIS(gen.Star(6), []graph.NodeID{0}); !ok {
+		t.Error("star centre alone is maximal, rejected")
+	}
+	// All nodes of an empty graph must be present for maximality.
+	if ok, _ := IsMaximalIS(graph.Empty(3), []graph.NodeID{0, 1}); ok {
+		t.Error("missing isolated node accepted as maximal")
+	}
+	if ok, _ := IsMaximalIS(graph.Empty(3), []graph.NodeID{0, 1, 2}); !ok {
+		t.Error("full vertex set of empty graph rejected")
+	}
+}
+
+func TestCoveredEdges(t *testing.T) {
+	g := path4()
+	if got := CoveredEdges(g, []graph.NodeID{1}); got != 2 {
+		t.Errorf("CoveredEdges({1}) = %d, want 2", got)
+	}
+	if got := CoveredEdges(g, []graph.NodeID{0, 3}); got != 2 {
+		t.Errorf("CoveredEdges({0,3}) = %d, want 2", got)
+	}
+	if got := CoveredEdges(g, nil); got != 0 {
+		t.Errorf("CoveredEdges(nil) = %d", got)
+	}
+	if got := CoveredEdges(g, []graph.NodeID{0, 1, 2, 3}); got != g.M() {
+		t.Errorf("all nodes cover %d edges, want %d", got, g.M())
+	}
+}

@@ -1,0 +1,215 @@
+// Package coloring implements Linial's colour-reduction algorithm ([42],
+// with the CONGEST variant of Kuhn [38]) as used by Section 5 of the paper:
+// an O(Δ⁴)-colouring of the square graph G², computed in O(log* n) rounds,
+// so that any two nodes within distance 2 receive distinct colours. The
+// colours then serve as the (small) hash-function inputs of the
+// stage-compressed derandomized Luby algorithm, shrinking per-phase seeds
+// from O(log n) to O(log Δ) bits.
+//
+// One Linial round: identify each current colour c with a polynomial p_c of
+// degree <= d over F_q (its base-q digits), where q is a prime exceeding
+// Δ·d. Distinct polynomials agree on at most d points, so every node has
+// some evaluation point x where it differs from all its (<= Δ) neighbours;
+// the node picks the smallest such x and adopts the new colour (x, p_c(x))
+// out of q². Iterating reaches the fixpoint q² = O(Δ²) colours for the
+// coloured graph — O(Δ⁴) when that graph is G² — in O(log* C) rounds.
+package coloring
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/intmath"
+	"repro/internal/simcost"
+)
+
+// Result is a proper colouring with its round count.
+type Result struct {
+	Colors    []int // colour per node, in [0, NumColors)
+	NumColors int
+	Rounds    int // Linial iterations (each O(1) charged MPC rounds)
+}
+
+// Linial colours the given graph properly with O(Δ²) colours in O(log* n)
+// iterations, starting from the trivial n-colouring by node id.
+func Linial(g *graph.Graph, model *simcost.Model) *Result {
+	n := g.N()
+	colors := make([]int, n)
+	for v := range colors {
+		colors[v] = v
+	}
+	numColors := n
+	if numColors == 0 {
+		return &Result{Colors: colors, NumColors: 0}
+	}
+	maxDeg := g.MaxDegree()
+	rounds := 0
+	for {
+		q, d := linialParams(numColors, maxDeg)
+		next := int(q * q)
+		if next >= numColors {
+			break // fixpoint reached
+		}
+		colors = linialRound(g, colors, q, d)
+		numColors = next
+		rounds++
+		model.ChargeRounds(1, "coloring.linial")
+		if rounds > 64 {
+			panic("coloring: Linial failed to converge")
+		}
+	}
+	// Isolated nodes have no colouring constraints: collapse them to a
+	// single colour (pure local computation).
+	for v := 0; v < n; v++ {
+		if g.Degree(graph.NodeID(v)) == 0 {
+			colors[v] = 0
+		}
+	}
+	// Compact the colour space to the colours actually used (a relabeling
+	// every node can do locally after one Lemma 4 sort).
+	colors, numColors = compact(colors)
+	model.ChargeSort("coloring.compact")
+	return &Result{Colors: colors, NumColors: numColors, Rounds: rounds}
+}
+
+// LinialG2 colours G² (distance-2 proper colouring of g) with O(Δ⁴)
+// colours — the colouring χ of Section 5.
+func LinialG2(g *graph.Graph, model *simcost.Model) *Result {
+	sq := g.Square()
+	model.ChargeRounds(1, "coloring.square") // neighbours exchange lists
+	res := Linial(sq, model)
+	if err := VerifyDistance2(g, res.Colors); err != nil {
+		panic(fmt.Sprintf("coloring: %v", err))
+	}
+	return res
+}
+
+// linialParams returns the prime field size q and polynomial degree d for
+// one reduction from numColors colours at maximum degree maxDeg.
+func linialParams(numColors, maxDeg int) (uint64, int) {
+	if maxDeg < 1 {
+		maxDeg = 1
+	}
+	// Find the smallest prime q with q > maxDeg*d(q) where d(q) =
+	// ceil(log_q numColors); try increasing q until consistent.
+	q := intmath.NextPrime(uint64(maxDeg + 2))
+	for {
+		d := degreeFor(numColors, q)
+		if q > uint64(maxDeg*d) {
+			return q, d
+		}
+		q = intmath.NextPrime(q + 1)
+	}
+}
+
+// degreeFor returns the smallest d with q^(d+1) >= numColors.
+func degreeFor(numColors int, q uint64) int {
+	d := 0
+	pow := q
+	for pow < uint64(numColors) {
+		pow *= q
+		d++
+		if d > 64 {
+			panic("coloring: degree overflow")
+		}
+	}
+	return d
+}
+
+// linialRound performs one colour reduction. All nodes decide from the old
+// colours only, so the computation is one synchronous round.
+func linialRound(g *graph.Graph, colors []int, q uint64, d int) []int {
+	n := g.N()
+	next := make([]int, n)
+	// Precompute the polynomial (base-q digits) of every colour in use.
+	polys := map[int][]uint64{}
+	digitsOf := func(c int) []uint64 {
+		if p, ok := polys[c]; ok {
+			return p
+		}
+		p := make([]uint64, d+1)
+		cc := uint64(c)
+		for t := 0; t <= d; t++ {
+			p[t] = cc % q
+			cc /= q
+		}
+		polys[c] = p
+		return p
+	}
+	eval := func(p []uint64, x uint64) uint64 {
+		acc := p[len(p)-1] % q
+		for t := len(p) - 2; t >= 0; t-- {
+			acc = (intmath.MulMod(acc, x, q) + p[t]) % q
+		}
+		return acc
+	}
+	for v := 0; v < n; v++ {
+		pv := digitsOf(colors[v])
+		nbrs := g.Neighbors(graph.NodeID(v))
+		chosen := int64(-1)
+		for x := uint64(0); x < q; x++ {
+			val := eval(pv, x)
+			ok := true
+			for _, u := range nbrs {
+				if colors[u] == colors[v] {
+					panic("coloring: input colouring not proper")
+				}
+				if eval(digitsOf(colors[u]), x) == val {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				chosen = int64(x*q + val)
+				break
+			}
+		}
+		if chosen < 0 {
+			// Cannot happen when q > Δ·d (counting argument); defensive.
+			panic("coloring: no evaluation point found")
+		}
+		next[v] = int(chosen)
+	}
+	return next
+}
+
+// compact relabels colours to a dense range [0, k).
+func compact(colors []int) ([]int, int) {
+	seen := map[int]int{}
+	out := make([]int, len(colors))
+	for v, c := range colors {
+		id, ok := seen[c]
+		if !ok {
+			id = len(seen)
+			seen[c] = id
+		}
+		out[v] = id
+	}
+	return out, len(seen)
+}
+
+// VerifyProper returns an error unless colors is a proper colouring of g.
+func VerifyProper(g *graph.Graph, colors []int) error {
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if colors[v] == colors[u] {
+				return fmt.Errorf("nodes %d and %d share colour %d", v, u, colors[v])
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyDistance2 returns an error unless colors is a distance-2 proper
+// colouring of g (proper on G²).
+func VerifyDistance2(g *graph.Graph, colors []int) error {
+	for v := 0; v < g.N(); v++ {
+		ball := g.Ball(graph.NodeID(v), 2)
+		for _, u := range ball {
+			if u != graph.NodeID(v) && colors[u] == colors[v] {
+				return fmt.Errorf("nodes %d and %d within distance 2 share colour %d", v, u, colors[v])
+			}
+		}
+	}
+	return nil
+}

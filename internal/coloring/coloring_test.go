@@ -1,0 +1,128 @@
+package coloring
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/simcost"
+)
+
+func TestLinialProperOnFixtures(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"path":  gen.Path(100),
+		"cycle": gen.Cycle(101),
+		"grid":  gen.Grid2D(12, 13),
+		"tree":  gen.RandomTree(200, 1),
+		"gnm":   gen.GNM(300, 900, 2),
+		"star":  gen.Star(50),
+	} {
+		res := Linial(g, nil)
+		if err := VerifyProper(g, res.Colors); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		for _, c := range res.Colors {
+			if c < 0 || c >= res.NumColors {
+				t.Errorf("%s: colour %d outside [0,%d)", name, c, res.NumColors)
+			}
+		}
+	}
+}
+
+func TestLinialColourCountPolyDelta(t *testing.T) {
+	// Fixpoint is O(Δ²) colours; check against a generous constant,
+	// independent of n.
+	for _, n := range []int{256, 1024, 4096} {
+		g := gen.RandomRegular(n, 6, uint64(n))
+		res := Linial(g, nil)
+		d := g.MaxDegree()
+		bound := 64 * d * d
+		if res.NumColors > bound {
+			t.Errorf("n=%d Δ=%d: %d colours > %d", n, d, res.NumColors, bound)
+		}
+	}
+}
+
+func TestLinialRoundsLogStar(t *testing.T) {
+	// Round count grows extremely slowly with n (log* behaviour): going
+	// from n=2^8 to n=2^14 must add at most 2 iterations.
+	small := Linial(gen.RandomRegular(1<<8, 4, 1), nil)
+	large := Linial(gen.RandomRegular(1<<14, 4, 1), nil)
+	if large.Rounds > small.Rounds+2 {
+		t.Errorf("rounds grew from %d to %d", small.Rounds, large.Rounds)
+	}
+	if large.Rounds > 8 {
+		t.Errorf("too many Linial rounds: %d", large.Rounds)
+	}
+}
+
+func TestLinialG2Distance2(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"grid": gen.Grid2D(10, 10),
+		"tree": gen.RandomTree(300, 3),
+		"reg":  gen.RandomRegular(500, 8, 4),
+	} {
+		res := LinialG2(g, nil)
+		if err := VerifyDistance2(g, res.Colors); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestLinialG2ColourCountDelta4(t *testing.T) {
+	g := gen.RandomRegular(2048, 4, 9)
+	res := LinialG2(g, nil)
+	d := g.MaxDegree()
+	bound := 256 * d * d * d * d // O(Δ⁴) with implementation constant
+	if res.NumColors > bound {
+		t.Errorf("Δ=%d: %d colours > %d", d, res.NumColors, bound)
+	}
+	t.Logf("Δ=%d colours=%d", d, res.NumColors)
+}
+
+func TestLinialEmptyAndTrivial(t *testing.T) {
+	res := Linial(graph.Empty(0), nil)
+	if res.NumColors != 0 {
+		t.Errorf("empty graph coloured with %d colours", res.NumColors)
+	}
+	res = Linial(graph.Empty(5), nil)
+	if err := VerifyProper(graph.Empty(5), res.Colors); err != nil {
+		t.Error(err)
+	}
+	// With no edges a single colour suffices after compaction.
+	if res.NumColors != 1 {
+		t.Errorf("edgeless graph uses %d colours, want 1", res.NumColors)
+	}
+}
+
+func TestLinialChargesModel(t *testing.T) {
+	g := gen.Grid2D(20, 20)
+	model := simcost.New(g.N(), g.M(), 0.5)
+	LinialG2(g, model)
+	if model.Rounds() == 0 {
+		t.Error("no rounds charged")
+	}
+}
+
+func TestLinialDeterministic(t *testing.T) {
+	g := gen.GNM(200, 800, 5)
+	a, b := Linial(g, nil), Linial(g, nil)
+	for v := range a.Colors {
+		if a.Colors[v] != b.Colors[v] {
+			t.Fatal("nondeterministic colouring")
+		}
+	}
+}
+
+func TestVerifyCatchesBadColouring(t *testing.T) {
+	g := gen.Path(3)
+	if err := VerifyProper(g, []int{0, 0, 1}); err == nil {
+		t.Error("improper colouring accepted")
+	}
+	if err := VerifyDistance2(g, []int{0, 1, 0}); err == nil {
+		t.Error("distance-2 violation accepted")
+	}
+	if err := VerifyDistance2(g, []int{0, 1, 2}); err != nil {
+		t.Errorf("valid distance-2 colouring rejected: %v", err)
+	}
+}

@@ -1,0 +1,285 @@
+// Package condexp implements the deterministic seed-selection procedures of
+// Section 2.4 of the paper (the method of conditional expectations).
+//
+// The paper's setting: over a random hash function h from a k-wise
+// independent family H, some objective q(h) = Σ_machines q_x(h) has
+// E_h[q] >= Q, hence by the probabilistic method some h* in H has
+// q(h*) >= Q. The MPC algorithm finds h* deterministically by fixing the
+// O(log n)-bit seed in Θ(log S)-bit chunks, machines voting on each chunk
+// with conditional expectations — O(1) rounds per chunk because local
+// computation is free in the MPC model.
+//
+// On a laptop local computation is not free, so the default procedure is
+// SearchAtLeast: scan the family in its fixed enumeration order, evaluating
+// batches of up to S candidate seeds per charged O(1)-round AllReduce (each
+// machine evaluates every candidate on its local data; the summed vector
+// tells everyone the first candidate meeting the threshold). The output is
+// deterministic — the first seed in enumeration order with q(seed) >= Q —
+// and termination is guaranteed whenever the expectation bound actually
+// holds for the finite family. DESIGN.md discusses this substitution; the
+// exact chunk-by-chunk method is also implemented (SearchConditional) and
+// tested against SearchAtLeast on small families.
+package condexp
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/hashfam"
+	"repro/internal/simcost"
+)
+
+// Objective evaluates the global objective for a full seed. Implementations
+// must be safe for concurrent calls (seed slices are never shared between
+// concurrent calls).
+type Objective func(seed []uint64) int64
+
+// Options configure a search.
+type Options struct {
+	// BatchSize is the number of candidate seeds evaluated per charged
+	// O(1)-round batch. Defaults to the model's S (or 64 without a model),
+	// and is clamped to S when a model is present: a machine must be able
+	// to hold the per-candidate partial objectives.
+	BatchSize int
+	// MaxSeeds bounds the scan. 0 means DefaultMaxSeeds. When the bound is
+	// hit the best seed seen so far is returned with Found == false.
+	MaxSeeds int
+	// Model, when non-nil, is charged one seed batch per batch of
+	// evaluations under Label.
+	Model *simcost.Model
+	// Label attributes charged rounds. Defaults to "condexp".
+	Label string
+	// Parallel enables host-parallel evaluation within a batch. The result
+	// is identical either way (the first qualifying seed in enumeration
+	// order is selected); only wall-clock time changes.
+	Parallel bool
+}
+
+// DefaultMaxSeeds bounds seed scans when Options.MaxSeeds is 0. The theory
+// guarantees a qualifying seed exists when the expectation bound holds; the
+// cap exists so that mis-calibrated thresholds degrade to best-effort
+// instead of hanging.
+const DefaultMaxSeeds = 1 << 17
+
+// Result reports the outcome of a search.
+type Result struct {
+	Seed       []uint64
+	Value      int64
+	Found      bool // Value >= the requested threshold
+	SeedsTried int
+	Batches    int
+}
+
+// ErrEmptyFamily is returned when the family has no seeds to try.
+var ErrEmptyFamily = errors.New("condexp: empty family")
+
+func (o *Options) defaults() {
+	if o.Label == "" {
+		o.Label = "condexp"
+	}
+	if o.BatchSize <= 0 {
+		if o.Model != nil {
+			o.BatchSize = o.Model.S()
+		}
+		if o.BatchSize <= 0 {
+			o.BatchSize = 64
+		}
+	}
+	if o.Model != nil && o.BatchSize > o.Model.S() {
+		o.BatchSize = o.Model.S()
+	}
+	if o.MaxSeeds <= 0 {
+		o.MaxSeeds = DefaultMaxSeeds
+	}
+}
+
+// SearchAtLeast scans the family in its canonical enumeration order and
+// returns the first seed whose objective is at least threshold. If no seed
+// qualifies within MaxSeeds, the best seed seen is returned with
+// Found == false (callers treat that as "take the progress you got", which
+// keeps the outer algorithms unconditionally correct).
+func SearchAtLeast(fam hashfam.Family, obj Objective, threshold int64, opts Options) (Result, error) {
+	opts.defaults()
+	enum := fam.Enumerate()
+	best := Result{Value: -1 << 62}
+	seedLen := fam.SeedLen()
+
+	batch := make([][]uint64, 0, opts.BatchSize)
+	values := make([]int64, opts.BatchSize)
+	tried := 0
+
+	flush := func() (done bool) {
+		if len(batch) == 0 {
+			return false
+		}
+		if opts.Model != nil {
+			opts.Model.ChargeSeedBatch(len(batch), opts.Label)
+		}
+		best.Batches++
+		evalBatch(batch, values[:len(batch)], obj, opts.Parallel)
+		for i, seed := range batch {
+			v := values[i]
+			if v > best.Value {
+				best.Value = v
+				best.Seed = append(best.Seed[:0], seed...)
+			}
+			if v >= threshold {
+				// First qualifying seed in enumeration order wins.
+				best.Value = v
+				best.Seed = append(best.Seed[:0], seed...)
+				best.Found = true
+				return true
+			}
+		}
+		batch = batch[:0]
+		return false
+	}
+
+	for tried < opts.MaxSeeds && enum.Next() {
+		seed := make([]uint64, seedLen)
+		copy(seed, enum.Seed())
+		batch = append(batch, seed)
+		tried++
+		if len(batch) == opts.BatchSize {
+			if flush() {
+				best.SeedsTried = tried
+				return best, nil
+			}
+		}
+	}
+	if flush() {
+		best.SeedsTried = tried
+		return best, nil
+	}
+	best.SeedsTried = tried
+	if tried == 0 {
+		return best, ErrEmptyFamily
+	}
+	return best, nil
+}
+
+// SearchBest scans exactly maxSeeds seeds (or the whole family if smaller)
+// and returns the one with the maximum objective, ties broken by enumeration
+// order. It is the "voting" variant used where no a-priori threshold exists
+// (e.g. picking the stage seed that maximises removed edges in Section 5).
+func SearchBest(fam hashfam.Family, obj Objective, maxSeeds int, opts Options) (Result, error) {
+	opts.defaults()
+	if maxSeeds > 0 {
+		opts.MaxSeeds = maxSeeds
+	}
+	// A threshold above any achievable value forces a full scan of
+	// MaxSeeds; the best seed is tracked along the way.
+	res, err := SearchAtLeast(fam, obj, 1<<62, opts)
+	if err != nil {
+		return res, err
+	}
+	res.Found = res.SeedsTried > 0
+	return res, nil
+}
+
+func evalBatch(batch [][]uint64, out []int64, obj Objective, parallel bool) {
+	if !parallel || len(batch) < 4 {
+		for i, seed := range batch {
+			out[i] = obj(seed)
+		}
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(batch) {
+					return
+				}
+				out[i] = obj(batch[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// SearchConditional runs the textbook method of conditional expectations:
+// fix the seed one field element at a time (one "chunk" of Θ(log p) bits,
+// matching the paper's Θ(log S)-bit chunks); for each candidate value of the
+// next element compute the *exact* conditional expectation of the objective
+// by enumerating all completions, and keep the value with the maximum
+// conditional expectation. The returned seed q satisfies
+// q(seed) >= E_h[q(h)] by construction.
+//
+// Cost is Θ(p^k) objective evaluations, so this is only for small families;
+// it exists to validate SearchAtLeast against the real method (tests) and
+// for the exact-derandomization experiment.
+func SearchConditional(fam hashfam.Family, obj Objective) ([]uint64, float64, error) {
+	k := fam.SeedLen()
+	p := fam.P()
+	if _, ok := fam.NumSeeds(); !ok {
+		return nil, 0, errors.New("condexp: family too large for exact conditional expectations")
+	}
+	prefix := make([]uint64, 0, k)
+	var condExp float64
+	for pos := 0; pos < k; pos++ {
+		bestVal := uint64(0)
+		bestExp := 0.0
+		first := true
+		for v := uint64(0); v < p; v++ {
+			exp := suffixAverage(fam, obj, append(prefix, v))
+			if first || exp > bestExp {
+				bestVal, bestExp, first = v, exp, false
+			}
+		}
+		prefix = append(prefix, bestVal)
+		condExp = bestExp
+	}
+	return prefix, condExp, nil
+}
+
+// suffixAverage returns the average objective over all completions of the
+// given seed prefix.
+func suffixAverage(fam hashfam.Family, obj Objective, prefix []uint64) float64 {
+	k := fam.SeedLen()
+	p := fam.P()
+	free := k - len(prefix)
+	seed := make([]uint64, k)
+	copy(seed, prefix)
+	if free == 0 {
+		return float64(obj(seed))
+	}
+	var total float64
+	var count float64
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == k {
+			total += float64(obj(seed))
+			count++
+			return
+		}
+		for v := uint64(0); v < p; v++ {
+			seed[pos] = v
+			rec(pos + 1)
+		}
+	}
+	rec(len(prefix))
+	return total / count
+}
+
+// FamilyMean returns the exact mean of the objective over the whole family
+// (test helper for validating expectation bounds; Θ(p^k) evaluations).
+func FamilyMean(fam hashfam.Family, obj Objective) (float64, error) {
+	if _, ok := fam.NumSeeds(); !ok {
+		return 0, errors.New("condexp: family too large to average")
+	}
+	return suffixAverage(fam, obj, nil), nil
+}

@@ -1,0 +1,109 @@
+package congest
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+)
+
+func params() core.Params { return core.DefaultParams() }
+
+func TestDetMISMaximalOnFixtures(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"empty": graph.Empty(6),
+		"path":  gen.Path(60),
+		"cycle": gen.Cycle(61),
+		"grid":  gen.Grid2D(10, 12),
+		"tree":  gen.RandomTree(200, 2),
+		"reg6":  gen.RandomRegular(300, 6, 3),
+	} {
+		res := DetMIS(g, params(), 16)
+		if ok, reason := check.IsMaximalIS(g, res.IndependentSet); !ok {
+			t.Errorf("%s: %s", name, reason)
+		}
+	}
+}
+
+func TestDetMISDeterministic(t *testing.T) {
+	g := gen.RandomRegular(200, 4, 7)
+	a, b := DetMIS(g, params(), 8), DetMIS(g, params(), 8)
+	if len(a.IndependentSet) != len(b.IndependentSet) || a.Rounds != b.Rounds {
+		t.Fatal("nondeterministic CONGEST MIS")
+	}
+	for i := range a.IndependentSet {
+		if a.IndependentSet[i] != b.IndependentSet[i] {
+			t.Fatal("nondeterministic CONGEST MIS")
+		}
+	}
+}
+
+func TestRoundsScaleWithDiameter(t *testing.T) {
+	// A path has D = n-1; a bounded-diameter regular graph is much
+	// shallower. The per-phase O(D) convergecast must show up in rounds.
+	longPath := DetMIS(gen.Path(400), params(), 8)
+	expander := DetMIS(gen.RandomRegular(400, 8, 5), params(), 8)
+	if longPath.TreeDepth <= expander.TreeDepth {
+		t.Fatalf("depths: path %d, expander %d", longPath.TreeDepth, expander.TreeDepth)
+	}
+	perPhasePath := float64(longPath.Rounds) / float64(len(longPath.Phases)+1)
+	perPhaseExp := float64(expander.Rounds) / float64(len(expander.Phases)+1)
+	if perPhasePath <= perPhaseExp {
+		t.Errorf("per-phase rounds: path %.1f <= expander %.1f despite larger D",
+			perPhasePath, perPhaseExp)
+	}
+}
+
+func TestDisconnectedComponentsElectIndependently(t *testing.T) {
+	// Two components; both must be solved, and per-component election must
+	// not deadlock on the absent global tree.
+	b := graph.NewBuilder(40)
+	for v := 0; v+1 < 20; v++ {
+		b.AddEdge(graph.NodeID(v), graph.NodeID(v+1))
+	}
+	for v := 20; v+1 < 40; v++ {
+		b.AddEdge(graph.NodeID(v), graph.NodeID(v+1))
+	}
+	g := b.Build()
+	res := DetMIS(g, params(), 8)
+	if ok, reason := check.IsMaximalIS(g, res.IndependentSet); !ok {
+		t.Fatal(reason)
+	}
+	left, right := 0, 0
+	for _, v := range res.IndependentSet {
+		if v < 20 {
+			left++
+		} else {
+			right++
+		}
+	}
+	if left == 0 || right == 0 {
+		t.Errorf("component uncovered: left=%d right=%d", left, right)
+	}
+}
+
+func TestPhasesBoundedAndProgress(t *testing.T) {
+	g := gen.RandomRegular(512, 6, 9)
+	res := DetMIS(g, params(), 16)
+	if len(res.Phases) > 40 {
+		t.Errorf("too many phases: %d", len(res.Phases))
+	}
+	for _, ph := range res.Phases {
+		if ph.EdgesAfter >= ph.EdgesBefore {
+			t.Fatalf("phase %d no progress", ph.Phase)
+		}
+	}
+}
+
+func TestBatchDefaulting(t *testing.T) {
+	g := gen.Grid2D(5, 5)
+	res := DetMIS(g, params(), 0)
+	if res.BatchSize != 16 {
+		t.Errorf("batch defaulted to %d", res.BatchSize)
+	}
+	if ok, _ := check.IsMaximalIS(g, res.IndependentSet); !ok {
+		t.Error("invalid MIS with defaulted batch")
+	}
+}

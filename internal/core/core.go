@@ -1,0 +1,371 @@
+// Package core holds the shared vocabulary of the paper's algorithms: the
+// parameter set (ε, δ = ε/8, concentration slack, search thresholds), the
+// degree-class partition C_1, …, C_{1/δ} of Section 3, the good-node sets X
+// (matching) and A (MIS) from Luby's analysis, and the deterministic
+// local-minimum selection rules shared by the matching and MIS steps.
+package core
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/hashfam"
+	"repro/internal/intmath"
+)
+
+// Params are the knobs of the deterministic algorithms. The zero value is
+// not meaningful; start from DefaultParams.
+type Params struct {
+	// Epsilon is the space exponent: S = Θ(n^ε) words per machine.
+	Epsilon float64
+	// InvDelta is 1/δ (the paper requires 1/δ ∈ N). DefaultParams sets
+	// ceil(8/ε) so that δ <= ε/8, the setting that makes the 2-hop
+	// neighbourhoods of the sparsified graph fit one machine.
+	InvDelta int
+	// KWise is the independence c of the hash family used by the stage
+	// subsampling (Lemma 9 requires an even constant >= 4).
+	KWise int
+	// Slack multiplies the concentration deviation terms in the machine
+	// goodness predicates and invariant checks. The paper's constants only
+	// bind asymptotically; Slack = 4 keeps the predicates meaningful at
+	// laptop scale (see DESIGN.md, substitution 4).
+	Slack float64
+	// ThresholdFrac is the fraction of the proven expectation bound used as
+	// the seed-search threshold. 1.0 demands the full probabilistic-method
+	// bound; 0.5 (default) makes qualifying seeds plentiful while keeping
+	// per-iteration progress within a factor 2 of the theorem's.
+	ThresholdFrac float64
+	// MaxSeedsPerSearch caps each derandomization scan; on exhaustion the
+	// best seed seen is used (progress is then whatever that seed achieves,
+	// so the algorithms remain unconditionally correct).
+	MaxSeedsPerSearch int
+	// Parallel enables host-side parallel seed evaluation.
+	Parallel bool
+}
+
+// DefaultParams returns the parameterisation used throughout the experiment
+// suite: ε = 0.5 (S = √n), δ = 1/16, 4-wise independence, slack 4,
+// half-expectation thresholds.
+func DefaultParams() Params {
+	return Params{
+		Epsilon:           0.5,
+		InvDelta:          16,
+		KWise:             4,
+		Slack:             4.0,
+		ThresholdFrac:     0.5,
+		MaxSeedsPerSearch: 1 << 14,
+		Parallel:          true,
+	}
+}
+
+// WithEpsilon returns params with Epsilon = eps and InvDelta = ceil(8/eps),
+// the paper's δ = ε/8 coupling.
+func (p Params) WithEpsilon(eps float64) Params {
+	if eps <= 0 || eps > 1 {
+		panic("core: epsilon must be in (0, 1]")
+	}
+	p.Epsilon = eps
+	p.InvDelta = int(math.Ceil(8 / eps))
+	return p
+}
+
+// Delta returns δ = 1/InvDelta.
+func (p Params) Delta() float64 { return 1 / float64(p.InvDelta) }
+
+// Validate panics on nonsensical parameters (programmer error).
+func (p Params) Validate() {
+	switch {
+	case p.Epsilon <= 0 || p.Epsilon > 1:
+		panic("core: Epsilon out of range")
+	case p.InvDelta < 1 || p.InvDelta >= SlotMax:
+		panic("core: InvDelta outside [1, SlotMax)")
+	case p.KWise < 2:
+		panic("core: KWise < 2")
+	case p.Slack <= 0:
+		panic("core: Slack <= 0")
+	case p.ThresholdFrac <= 0 || p.ThresholdFrac > 1:
+		panic("core: ThresholdFrac out of (0,1]")
+	}
+}
+
+// DegreeClasses is the partition C_1..C_K of Section 3: class i holds the
+// nodes with b_{i-1} <= d(v) < b_i where b_i = ceil(n^{i/K}) (b_0 = 1).
+// Isolated nodes (d = 0) get class 0, outside the partition.
+type DegreeClasses struct {
+	N      int
+	K      int
+	Bounds []uint64 // Bounds[i] = ceil(n^{i/K}) for i = 0..K; Bounds[0] = 1
+}
+
+// NewDegreeClasses precomputes class boundaries for an n-node graph with
+// K = 1/δ classes.
+func NewDegreeClasses(n, k int) *DegreeClasses {
+	if n < 1 || k < 1 {
+		panic("core: NewDegreeClasses requires n, k >= 1")
+	}
+	bounds := make([]uint64, k+1)
+	bounds[0] = 1
+	for i := 1; i <= k; i++ {
+		bounds[i] = intmath.CeilPow(uint64(n), i, k)
+		if bounds[i] <= bounds[i-1] {
+			bounds[i] = bounds[i-1] + 1 // keep bands non-degenerate at tiny n
+		}
+	}
+	return &DegreeClasses{N: n, K: k, Bounds: bounds}
+}
+
+// Class returns the class index in [1, K] of a node with degree d, or 0 for
+// d <= 0 (isolated).
+func (c *DegreeClasses) Class(d int) int {
+	if d <= 0 {
+		return 0
+	}
+	for i := 1; i <= c.K; i++ {
+		if uint64(d) < c.Bounds[i] {
+			return i
+		}
+	}
+	return c.K
+}
+
+// StageCount returns the number of subsampling stages for class i: the
+// paper's i-4 for i >= 5, otherwise 0 (Sections 3.2 and 4.2).
+func StageCount(i int) int {
+	if i <= 4 {
+		return 0
+	}
+	return i - 4
+}
+
+// GroupSize returns the machine-group size γ = ceil(n^{4δ}) used when a
+// node's incident edges (or neighbours) are spread over type-A/B machines.
+func (c *DegreeClasses) GroupSize() int {
+	g := intmath.CeilPow(uint64(c.N), 4, c.K)
+	if g < 2 {
+		g = 2
+	}
+	return int(g)
+}
+
+// NDelta returns ceil(n^δ): the per-stage subsampling denominator.
+func (c *DegreeClasses) NDelta() uint64 {
+	v := intmath.CeilPow(uint64(c.N), 1, c.K)
+	if v < 2 {
+		v = 2
+	}
+	return v
+}
+
+// StageThreshold returns the field threshold t such that h(x) < t samples x
+// with probability floor(p·n^{-δ})/p, i.e. as close to exactly n^{-δ} as the
+// field admits (the paper's h(e) <= n^{3-δ} over range n³). Using the exact
+// real-valued rate instead of ceil(n^δ) matters at laptop scale: rounding
+// the rate down compounds over i-4 stages and can empty the sample.
+func StageThreshold(p uint64, n, k int) uint64 {
+	rate := math.Pow(float64(n), -1/float64(k))
+	t := uint64(rate * float64(p))
+	if t < 1 {
+		t = 1
+	}
+	if t > p {
+		t = p
+	}
+	return t
+}
+
+// DevTerm returns the concentration deviation n^{0.1δ}·√ex used by the
+// goodness predicates of Sections 3.2 and 4.2 (as a float; callers multiply
+// by Params.Slack).
+func (c *DegreeClasses) DevTerm(ex int) float64 {
+	n01d := math.Pow(float64(c.N), 0.1/float64(c.K))
+	return n01d * math.Sqrt(float64(ex))
+}
+
+// ComputeX returns the good-node indicator of Luby's matching analysis
+// (Lemma 3): v ∈ X iff at least d(v)/3 neighbours u have d(u) <= d(v).
+// deg must be the degree slice of g.
+func ComputeX(g *graph.Graph, deg []int) []bool {
+	x := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		dv := deg[v]
+		if dv == 0 {
+			continue
+		}
+		cnt := 0
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if deg[u] <= dv {
+				cnt++
+			}
+		}
+		x[v] = 3*cnt >= dv
+	}
+	return x
+}
+
+// XWeight returns Σ_{v∈X} d(v) (Lemma 3 lower-bounds it by |E|, summing each
+// edge from both sides; the per-class corollary divides it by 1/δ).
+func XWeight(x []bool, deg []int) int64 {
+	var w int64
+	for v, in := range x {
+		if in {
+			w += int64(deg[v])
+		}
+	}
+	return w
+}
+
+// ComputeA returns the MIS good-node indicator (Corollary 15): v ∈ A iff
+// Σ_{u∼v} 1/d(u) >= 1/3.
+func ComputeA(g *graph.Graph, deg []int) []bool {
+	a := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		if deg[v] == 0 {
+			continue
+		}
+		var sum float64
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			sum += 1 / float64(deg[u])
+		}
+		a[v] = sum >= 1.0/3-1e-12
+	}
+	return a
+}
+
+// ZKey orders candidates deterministically by (hash value, id): the paper's
+// "z_v < z_u" comparisons with the measure-zero ties broken by id so that
+// candidate sets are well defined at any scale.
+type ZKey struct {
+	Z  uint64
+	ID uint64
+}
+
+// Less reports strict precedence of a over b.
+func (a ZKey) Less(b ZKey) bool {
+	if a.Z != b.Z {
+		return a.Z < b.Z
+	}
+	return a.ID < b.ID
+}
+
+// LocalMinEdges returns the candidate matching E_h of Section 3.3: the edges
+// of estar whose (z, key) is strictly smaller than every adjacent edge's.
+// zOf supplies z values (typically a bound hash function); edges is the
+// canonical edge list of estar. The result is always a matching.
+func LocalMinEdges(estar *graph.Graph, edges []graph.Edge, zOf func(graph.Edge) uint64) []graph.Edge {
+	n := estar.N()
+	// Per-node minimum and second minimum incident (z,key), so the minimum
+	// excluding any given edge is available in O(1).
+	const none = ^uint64(0)
+	min1 := make([]ZKey, n)
+	min2 := make([]ZKey, n)
+	arg1 := make([]uint64, n)
+	for v := range min1 {
+		min1[v] = ZKey{none, none}
+		min2[v] = ZKey{none, none}
+		arg1[v] = none
+	}
+	keys := make([]ZKey, len(edges))
+	for idx, e := range edges {
+		k := ZKey{zOf(e), e.Key(n)}
+		keys[idx] = k
+		for _, end := range [2]graph.NodeID{e.U, e.V} {
+			if k.Less(min1[end]) {
+				min2[end] = min1[end]
+				min1[end] = k
+				arg1[end] = k.ID
+			} else if k.Less(min2[end]) {
+				min2[end] = k
+			}
+		}
+	}
+	var out []graph.Edge
+	for idx, e := range edges {
+		k := keys[idx]
+		ok := true
+		for _, end := range [2]graph.NodeID{e.U, e.V} {
+			other := min1[end]
+			if arg1[end] == k.ID {
+				other = min2[end]
+			}
+			if other.ID != none && !k.Less(other) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// LocalMinNodes returns the candidate independent set I_h of Section 4.3:
+// nodes of q (restricted to inQ) whose (z, id) is strictly smaller than
+// every q-neighbour's. The result is always independent in q.
+func LocalMinNodes(q *graph.Graph, inQ []bool, zOf func(graph.NodeID) uint64) []graph.NodeID {
+	var out []graph.NodeID
+	for v := 0; v < q.N(); v++ {
+		if !inQ[v] {
+			continue
+		}
+		kv := ZKey{zOf(graph.NodeID(v)), uint64(v)}
+		isMin := true
+		for _, u := range q.Neighbors(graph.NodeID(v)) {
+			if !inQ[u] {
+				continue
+			}
+			ku := ZKey{zOf(u), uint64(u)}
+			if !kv.Less(ku) {
+				isMin = false
+				break
+			}
+		}
+		if isMin {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// SlotMax is the number of domain-separation slots in the hash input space
+// (see SlotKey).
+const SlotMax = 64
+
+// EdgeField returns the hash family field used for a graph with n nodes:
+// the least prime at least max(SlotMax·n², 1024). The n² covers node ids
+// and canonical edge keys; the SlotMax factor leaves room for the
+// domain-separation slots that give every subsampling stage fresh
+// independent values even when the seed search lands on the same seed (the
+// paper's [n³] range plays the same role: it decouples the per-stage hash
+// values). Ties are broken by id, see DESIGN.md.
+func EdgeField(n int) uint64 {
+	min := SlotMax * uint64(n) * uint64(n)
+	if min < 1024 {
+		min = 1024
+	}
+	return min
+}
+
+// SlotKey maps a raw key (< n²) into domain-separation slot `slot`:
+// different slots never collide, so h(SlotKey(x, j)) for j = 1, 2, ... are
+// independent values even under one seed. Slot 0 is the identity and is
+// used by the matching/MIS selection steps; stage j uses slot j.
+func SlotKey(x uint64, slot, n int) uint64 {
+	if slot < 0 || slot >= SlotMax {
+		panic("core: slot out of range")
+	}
+	return x + uint64(slot)*uint64(n)*uint64(n)
+}
+
+// PairwiseFamily returns the 2-wise independent family over the graph's
+// field (used by the matching/MIS selection steps, Lemma 13/21 need only
+// pairwise independence).
+func PairwiseFamily(n int) hashfam.Family {
+	return hashfam.New(EdgeField(n), 2)
+}
+
+// KWiseFamily returns the c-wise independent family over the graph's field
+// (used by the stage subsampling, Lemma 9).
+func KWiseFamily(n, c int) hashfam.Family {
+	return hashfam.New(EdgeField(n), c)
+}

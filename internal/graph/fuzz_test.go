@@ -1,0 +1,104 @@
+package graph
+
+import "testing"
+
+// Native fuzz targets. `go test` runs the seed corpus; `go test -fuzz=...`
+// explores further. They assert the structural invariants that every
+// algorithm in this repository depends on.
+
+func FuzzBuilderInvariants(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 0})
+	f.Add([]byte{5, 5, 5, 5})
+	f.Add([]byte{})
+	f.Add([]byte{255, 254, 253, 252, 1, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		const n = 64
+		b := NewBuilder(n)
+		for i := 0; i+1 < len(raw); i += 2 {
+			b.AddEdge(NodeID(int(raw[i])%n), NodeID(int(raw[i+1])%n))
+		}
+		g := b.Build()
+		// Degree sum identity.
+		sum := 0
+		for v := 0; v < g.N(); v++ {
+			sum += g.Degree(NodeID(v))
+		}
+		if sum != 2*g.M() {
+			t.Fatalf("degree sum %d != 2m = %d", sum, 2*g.M())
+		}
+		// Symmetry and sortedness.
+		for v := 0; v < g.N(); v++ {
+			nbrs := g.Neighbors(NodeID(v))
+			for i, u := range nbrs {
+				if u == NodeID(v) {
+					t.Fatal("self loop survived")
+				}
+				if i > 0 && nbrs[i-1] >= u {
+					t.Fatal("neighbours unsorted or duplicated")
+				}
+				if !g.HasEdge(u, NodeID(v)) {
+					t.Fatal("asymmetric adjacency")
+				}
+			}
+		}
+		// Edge list round trip.
+		if h := FromEdges(n, g.Edges()); h.M() != g.M() {
+			t.Fatalf("edge-list round trip lost edges: %d -> %d", g.M(), h.M())
+		}
+	})
+}
+
+func FuzzLineGraphDegreeIdentity(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 3, 4})
+	f.Add([]byte{1, 2, 2, 3, 3, 1, 1, 3})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		const n = 24
+		b := NewBuilder(n)
+		for i := 0; i+1 < len(raw); i += 2 {
+			b.AddEdge(NodeID(int(raw[i])%n), NodeID(int(raw[i+1])%n))
+		}
+		g := b.Build()
+		lg, edges := g.LineGraph()
+		if lg.N() != len(edges) || len(edges) != g.M() {
+			t.Fatalf("line graph node count %d != m %d", lg.N(), g.M())
+		}
+		for i, e := range edges {
+			want := g.Degree(e.U) + g.Degree(e.V) - 2
+			if got := lg.Degree(NodeID(i)); got != want {
+				t.Fatalf("d_L(%v) = %d, want %d", e, got, want)
+			}
+		}
+	})
+}
+
+func FuzzBallWithinBounds(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2}, uint8(2))
+	f.Fuzz(func(t *testing.T, raw []byte, r uint8) {
+		const n = 32
+		b := NewBuilder(n)
+		for i := 0; i+1 < len(raw); i += 2 {
+			b.AddEdge(NodeID(int(raw[i])%n), NodeID(int(raw[i+1])%n))
+		}
+		g := b.Build()
+		radius := int(r % 5)
+		for v := 0; v < n; v++ {
+			ball := g.Ball(NodeID(v), radius)
+			if len(ball) < 1 || len(ball) > n {
+				t.Fatalf("ball size %d out of range", len(ball))
+			}
+			// v itself is always included and the list is sorted unique.
+			seen := false
+			for i, u := range ball {
+				if u == NodeID(v) {
+					seen = true
+				}
+				if i > 0 && ball[i-1] >= u {
+					t.Fatal("ball unsorted")
+				}
+			}
+			if !seen {
+				t.Fatal("ball missing centre")
+			}
+		}
+	})
+}

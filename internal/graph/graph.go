@@ -1,0 +1,219 @@
+// Package graph provides the in-memory graph substrate shared by every
+// algorithm in this repository: compressed-sparse-row (CSR) undirected
+// graphs, builders, and the structural operations the paper needs (induced
+// subgraphs, node removal, line graphs for maximal matching via MIS, the
+// square graph G² for Linial colouring, and r-hop balls for Section 5).
+//
+// Graphs are immutable once built. Node ids are dense int32 values in
+// [0, N); algorithms that remove nodes produce a new Graph with the same id
+// space in which removed nodes are isolated, so ids remain stable across the
+// iterations of Luby-style loops.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node; ids are dense in [0, N).
+type NodeID = int32
+
+// Edge is an undirected edge with U < V canonically.
+type Edge struct {
+	U, V NodeID
+}
+
+// Canon returns e with endpoints swapped if necessary so that U < V.
+func (e Edge) Canon() Edge {
+	if e.U > e.V {
+		return Edge{e.V, e.U}
+	}
+	return e
+}
+
+// Key returns a canonical uint64 key for the edge in a graph with n nodes,
+// suitable as a hash-function input: key = min*n + max < n².
+func (e Edge) Key(n int) uint64 {
+	c := e.Canon()
+	return uint64(c.U)*uint64(n) + uint64(c.V)
+}
+
+// Graph is an immutable undirected graph in CSR form. The zero value is the
+// empty graph with no nodes.
+type Graph struct {
+	offsets []int32  // len n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
+	adj     []NodeID // concatenated sorted neighbour lists (both directions)
+	m       int      // number of undirected edges
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int {
+	if g == nil || len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v NodeID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted neighbour list of v. The returned slice
+// aliases the graph's storage and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether {u,v} is an edge, by binary search.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if u == v {
+		return false
+	}
+	nbrs := g.Neighbors(u)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	return i < len(nbrs) && nbrs[i] == v
+}
+
+// MaxDegree returns the maximum degree Δ (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(NodeID(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Edges returns the canonical edge list, sorted by (U, V). The slice is
+// freshly allocated on every call.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.m)
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(NodeID(u)) {
+			if NodeID(u) < v {
+				edges = append(edges, Edge{NodeID(u), v})
+			}
+		}
+	}
+	return edges
+}
+
+// Degrees returns the degree slice indexed by node.
+func (g *Graph) Degrees() []int {
+	d := make([]int, g.N())
+	for v := range d {
+		d[v] = g.Degree(NodeID(v))
+	}
+	return d
+}
+
+// Clone returns a deep copy (useful when callers want to retain a snapshot;
+// Graph itself is immutable, so this is rarely needed outside tests).
+func (g *Graph) Clone() *Graph {
+	return &Graph{
+		offsets: append([]int32(nil), g.offsets...),
+		adj:     append([]NodeID(nil), g.adj...),
+		m:       g.m,
+	}
+}
+
+// String returns a short diagnostic description.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d Δ=%d}", g.N(), g.M(), g.MaxDegree())
+}
+
+// Builder accumulates edges and produces a Graph. Duplicate edges and self
+// loops are dropped. The zero value is unusable; construct with NewBuilder.
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder returns a builder for a graph on n nodes.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u,v}. Self loops are ignored.
+// It panics on out-of-range endpoints.
+func (b *Builder) AddEdge(u, v NodeID) {
+	if int(u) >= b.n || int(v) >= b.n || u < 0 || v < 0 {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	b.edges = append(b.edges, Edge{u, v}.Canon())
+}
+
+// Build finalises the graph. The builder may be reused afterwards (its edge
+// buffer is retained).
+func (b *Builder) Build() *Graph {
+	return FromEdges(b.n, b.edges)
+}
+
+// FromEdges builds a graph on n nodes from an edge list. Duplicates and self
+// loops are removed; the input slice is not modified.
+func FromEdges(n int, edges []Edge) *Graph {
+	canon := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		if int(e.U) >= n || int(e.V) >= n || e.U < 0 || e.V < 0 {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n))
+		}
+		canon = append(canon, e.Canon())
+	}
+	sort.Slice(canon, func(i, j int) bool {
+		if canon[i].U != canon[j].U {
+			return canon[i].U < canon[j].U
+		}
+		return canon[i].V < canon[j].V
+	})
+	// Deduplicate in place.
+	uniq := canon[:0]
+	for i, e := range canon {
+		if i == 0 || e != canon[i-1] {
+			uniq = append(uniq, e)
+		}
+	}
+	deg := make([]int32, n+1)
+	for _, e := range uniq {
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	offsets := deg
+	adj := make([]NodeID, offsets[n])
+	cursor := make([]int32, n)
+	for _, e := range uniq {
+		adj[offsets[e.U]+cursor[e.U]] = e.V
+		cursor[e.U]++
+		adj[offsets[e.V]+cursor[e.V]] = e.U
+		cursor[e.V]++
+	}
+	// Neighbour lists are already sorted because edges were sorted by (U,V)
+	// for the U side, but the V side receives entries ordered by U, which is
+	// sorted too. Sort defensively anyway: correctness beats micro-cost.
+	for v := 0; v < n; v++ {
+		nbrs := adj[offsets[v]:offsets[v+1]]
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	}
+	return &Graph{offsets: offsets, adj: adj, m: len(uniq)}
+}
+
+// Empty returns the graph with n nodes and no edges.
+func Empty(n int) *Graph {
+	return FromEdges(n, nil)
+}

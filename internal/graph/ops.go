@@ -1,0 +1,196 @@
+package graph
+
+import "sort"
+
+// WithoutNodes returns a graph on the same id space in which every node with
+// remove[v] == true has been isolated (all incident edges dropped). Node ids
+// are preserved, which keeps them stable across the iterations of the
+// Luby-style loops in internal/matching and internal/mis.
+func (g *Graph) WithoutNodes(remove []bool) *Graph {
+	if len(remove) != g.N() {
+		panic("graph: WithoutNodes mask length mismatch")
+	}
+	edges := make([]Edge, 0, g.m)
+	for u := 0; u < g.N(); u++ {
+		if remove[u] {
+			continue
+		}
+		for _, v := range g.Neighbors(NodeID(u)) {
+			if NodeID(u) < v && !remove[v] {
+				edges = append(edges, Edge{NodeID(u), v})
+			}
+		}
+	}
+	return FromEdges(g.N(), edges)
+}
+
+// SubgraphEdges returns the graph on the same id space containing exactly
+// the given edges. Every edge must be an edge of g (checked), so the result
+// is a subgraph.
+func (g *Graph) SubgraphEdges(edges []Edge) *Graph {
+	for _, e := range edges {
+		if !g.HasEdge(e.U, e.V) {
+			panic("graph: SubgraphEdges edge not present in graph")
+		}
+	}
+	return FromEdges(g.N(), edges)
+}
+
+// InducedNodes returns the subgraph induced on the nodes with keep[v]==true,
+// preserving node ids (nodes outside the set become isolated).
+func (g *Graph) InducedNodes(keep []bool) *Graph {
+	if len(keep) != g.N() {
+		panic("graph: InducedNodes mask length mismatch")
+	}
+	edges := make([]Edge, 0, g.m)
+	for u := 0; u < g.N(); u++ {
+		if !keep[u] {
+			continue
+		}
+		for _, v := range g.Neighbors(NodeID(u)) {
+			if NodeID(u) < v && keep[v] {
+				edges = append(edges, Edge{NodeID(u), v})
+			}
+		}
+	}
+	return FromEdges(g.N(), edges)
+}
+
+// LineGraph returns the line graph L(G) together with the canonical edge
+// list of g: node i of L(G) corresponds to edges[i], and two L(G)-nodes are
+// adjacent iff the corresponding g-edges share an endpoint. A maximal
+// matching of g is exactly an MIS of L(G) (Section 5 of the paper uses this
+// reduction for small Δ).
+func (g *Graph) LineGraph() (*Graph, []Edge) {
+	edges := g.Edges()
+	index := make(map[Edge]int32, len(edges))
+	for i, e := range edges {
+		index[e] = int32(i)
+	}
+	b := NewBuilder(len(edges))
+	// Edges incident to the same node are pairwise adjacent in L(G).
+	for v := 0; v < g.N(); v++ {
+		nbrs := g.Neighbors(NodeID(v))
+		ids := make([]int32, len(nbrs))
+		for i, u := range nbrs {
+			ids[i] = index[Edge{NodeID(v), u}.Canon()]
+		}
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				b.AddEdge(ids[i], ids[j])
+			}
+		}
+	}
+	return b.Build(), edges
+}
+
+// Square returns G², the graph on the same nodes where u ~ v iff their
+// distance in g is 1 or 2. Section 5 colours G² so that 2-hop neighbours get
+// distinct colours.
+func (g *Graph) Square() *Graph {
+	b := NewBuilder(g.N())
+	seen := make(map[int64]struct{})
+	addOnce := func(u, v NodeID) {
+		if u == v {
+			return
+		}
+		a, c := u, v
+		if a > c {
+			a, c = c, a
+		}
+		k := int64(a)<<32 | int64(c)
+		if _, ok := seen[k]; ok {
+			return
+		}
+		seen[k] = struct{}{}
+		b.AddEdge(u, v)
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(NodeID(u)) {
+			addOnce(NodeID(u), v)
+			for _, w := range g.Neighbors(v) {
+				addOnce(NodeID(u), w)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Ball returns the set of nodes within distance r of v (including v),
+// sorted. For r = 2 this is the "2-hop neighbourhood" whose size the
+// algorithms must bound by the machine space S.
+func (g *Graph) Ball(v NodeID, r int) []NodeID {
+	dist := map[NodeID]int{v: 0}
+	frontier := []NodeID{v}
+	for d := 0; d < r && len(frontier) > 0; d++ {
+		var next []NodeID
+		for _, u := range frontier {
+			for _, w := range g.Neighbors(u) {
+				if _, ok := dist[w]; !ok {
+					dist[w] = d + 1
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	ball := make([]NodeID, 0, len(dist))
+	for u := range dist {
+		ball = append(ball, u)
+	}
+	sort.Slice(ball, func(i, j int) bool { return ball[i] < ball[j] })
+	return ball
+}
+
+// BallSizeMax returns the largest |Ball(v, r)| over all nodes; experiment T9
+// uses it to demonstrate that 2-hop balls overflow machine space before
+// sparsification and fit after.
+func (g *Graph) BallSizeMax(r int) int {
+	max := 0
+	for v := 0; v < g.N(); v++ {
+		if s := len(g.Ball(NodeID(v), r)); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// ConnectedComponents returns a component label per node and the component
+// count (used by tests and examples).
+func (g *Graph) ConnectedComponents() ([]int, int) {
+	label := make([]int, g.N())
+	for i := range label {
+		label[i] = -1
+	}
+	count := 0
+	var stack []NodeID
+	for s := 0; s < g.N(); s++ {
+		if label[s] != -1 {
+			continue
+		}
+		stack = append(stack[:0], NodeID(s))
+		label[s] = count
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range g.Neighbors(v) {
+				if label[u] == -1 {
+					label[u] = count
+					stack = append(stack, u)
+				}
+			}
+		}
+		count++
+	}
+	return label, count
+}
+
+// EdgeDegrees returns, for each edge in the canonical list, the edge degree
+// d(e) = number of other edges sharing an endpoint = d(u)+d(v)-2.
+func (g *Graph) EdgeDegrees(edges []Edge) []int {
+	out := make([]int, len(edges))
+	for i, e := range edges {
+		out[i] = g.Degree(e.U) + g.Degree(e.V) - 2
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package lowdeg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/simcost"
+)
+
+func params() core.Params { return core.DefaultParams() }
+
+func TestMISMaximalOnLowDegreeFixtures(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"path":  gen.Path(200),
+		"cycle": gen.Cycle(201),
+		"grid":  gen.Grid2D(20, 25),
+		"tree":  gen.RandomTree(500, 1),
+		"reg4":  gen.RandomRegular(512, 4, 2),
+		"reg8":  gen.RandomRegular(512, 8, 3),
+	} {
+		res := MIS(g, params(), nil)
+		if ok, reason := check.IsMaximalIS(g, res.IndependentSet); !ok {
+			t.Errorf("%s: %s", name, reason)
+		}
+	}
+}
+
+func TestMISEmptyGraph(t *testing.T) {
+	res := MIS(graph.Empty(7), params(), nil)
+	if len(res.IndependentSet) != 7 {
+		t.Errorf("MIS of empty graph = %d nodes, want 7", len(res.IndependentSet))
+	}
+	if res.Stages != 0 {
+		t.Errorf("empty graph ran %d stages", res.Stages)
+	}
+}
+
+func TestPhasesMakeProgress(t *testing.T) {
+	g := gen.RandomRegular(1024, 6, 5)
+	res := MIS(g, params(), nil)
+	for _, ph := range res.Phases {
+		if ph.EdgesAfter >= ph.EdgesBefore {
+			t.Fatalf("stage %d phase %d: no progress", ph.Stage, ph.Phase)
+		}
+	}
+}
+
+func TestStageCompressionStructure(t *testing.T) {
+	g := gen.Grid2D(64, 64) // Δ = 4 keeps ℓ >= 2 under the default budget
+	res := MIS(g, params(), nil)
+	if res.Ell < 2 {
+		t.Skipf("ℓ = %d; budget too small for compression on this host", res.Ell)
+	}
+	if res.Radius != 2*res.Ell {
+		t.Errorf("radius %d != 2ℓ = %d", res.Radius, 2*res.Ell)
+	}
+	// Stages must be fewer than phases when ℓ > 1 (that is the compression).
+	if res.Stages >= len(res.Phases) && len(res.Phases) > res.Ell {
+		t.Errorf("no compression: %d stages for %d phases", res.Stages, len(res.Phases))
+	}
+	if res.RoundsPaper <= 0 || res.RoundsExecuted < res.RoundsPaper {
+		t.Errorf("round accounting odd: paper=%d executed=%d", res.RoundsPaper, res.RoundsExecuted)
+	}
+}
+
+func TestPhaseCountLogarithmic(t *testing.T) {
+	g := gen.RandomRegular(2048, 4, 7)
+	res := MIS(g, params(), nil)
+	bound := int(6 * math.Log2(float64(g.M())))
+	if len(res.Phases) > bound {
+		t.Errorf("phases %d exceed 6·log2(m) = %d", len(res.Phases), bound)
+	}
+	t.Logf("n=%d Δ=%d phases=%d stages=%d ℓ=%d colors=%d",
+		g.N(), g.MaxDegree(), len(res.Phases), res.Stages, res.Ell, res.Colors)
+}
+
+func TestStagesGrowWithDelta(t *testing.T) {
+	// The point of Theorem 1: stages ~ O(log Δ) at fixed n. We check the
+	// weaker monotone-ish claim that stage counts stay within a small
+	// multiple of log Δ across the sweep.
+	n := 1024
+	for _, d := range []int{4, 8, 16} {
+		g := gen.RandomRegular(n, d, uint64(d))
+		res := MIS(g, params(), nil)
+		if res.Stages > 12*int(math.Log2(float64(d)))+12 {
+			t.Errorf("Δ=%d: %d stages too many", d, res.Stages)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := gen.RandomRegular(512, 6, 11)
+	a := MIS(g, params(), nil)
+	b := MIS(g, params(), nil)
+	if len(a.IndependentSet) != len(b.IndependentSet) {
+		t.Fatal("nondeterministic MIS size")
+	}
+	for i := range a.IndependentSet {
+		if a.IndependentSet[i] != b.IndependentSet[i] {
+			t.Fatal("nondeterministic MIS")
+		}
+	}
+}
+
+func TestModelAccountingAndSpace(t *testing.T) {
+	g := gen.Grid2D(40, 40)
+	model := simcost.New(g.N(), g.M(), 0.5)
+	res := MIS(g, params(), model)
+	if ok, reason := check.IsMaximalIS(g, res.IndependentSet); !ok {
+		t.Fatal(reason)
+	}
+	if model.Rounds() == 0 {
+		t.Error("no rounds charged")
+	}
+	for _, v := range model.Violations() {
+		t.Errorf("space violation: %s", v)
+	}
+	if res.MaxBallWords > model.MachineBudget() {
+		t.Errorf("ball words %d exceed budget %d", res.MaxBallWords, model.MachineBudget())
+	}
+}
+
+func TestSuitable(t *testing.T) {
+	model := simcost.New(4096, 16384, 0.5) // S=64, budget=512
+	if !Suitable(gen.Grid2D(64, 64), params(), model) {
+		t.Error("grid (Δ=4, Δ⁴=256) should be suitable")
+	}
+	if Suitable(gen.Star(4096), params(), model) {
+		t.Error("star (Δ=4095) should not be suitable")
+	}
+	if !Suitable(graph.Empty(10), params(), nil) {
+		t.Error("empty graph should be suitable")
+	}
+}
+
+func TestMaximalMatchingViaLineGraph(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"path": gen.Path(150),
+		"grid": gen.Grid2D(15, 15),
+		"reg6": gen.RandomRegular(400, 6, 13),
+	} {
+		res := MaximalMatching(g, params(), nil)
+		if ok, reason := check.IsMaximalMatching(g, res.Matching); !ok {
+			t.Errorf("%s: %s", name, reason)
+		}
+		if res.MIS == nil || len(res.MIS.IndependentSet) != len(res.Matching) {
+			t.Errorf("%s: line-graph MIS inconsistent", name)
+		}
+	}
+}
+
+func TestEll(t *testing.T) {
+	if Ell(2, 1024) < Ell(16, 1024) {
+		t.Error("ℓ should shrink as Δ grows")
+	}
+	if Ell(4, 1024) < 2 {
+		t.Errorf("Ell(4, 1024) = %d, want >= 2", Ell(4, 1024))
+	}
+	if Ell(1000000, 16) != 1 {
+		t.Error("huge Δ must clamp to 1")
+	}
+	if Ell(2, 1<<30) != 8 {
+		t.Errorf("cap at 8 broken: %d", Ell(2, 1<<30))
+	}
+}
+
+func BenchmarkMISGrid(b *testing.B) {
+	g := gen.Grid2D(32, 32)
+	p := params()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MIS(g, p, nil)
+	}
+}

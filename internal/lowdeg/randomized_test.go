@@ -1,0 +1,72 @@
+package lowdeg
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/detrand"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+)
+
+func TestRandomizedMISMaximal(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"empty": graph.Empty(5),
+		"path":  gen.Path(100),
+		"grid":  gen.Grid2D(15, 15),
+		"reg6":  gen.RandomRegular(400, 6, 2),
+	} {
+		res := RandomizedMIS(g, params(), detrand.New(3))
+		if ok, reason := check.IsMaximalIS(g, res.IndependentSet); !ok {
+			t.Errorf("%s: %s", name, reason)
+		}
+	}
+}
+
+func TestRandomizedSeedBitsAreLogDelta(t *testing.T) {
+	// The whole point of §5.1: seeds over the colour space are O(log Δ)
+	// bits, far below the O(log n) of node-keyed hashing.
+	g := gen.Grid2D(64, 64) // n = 4096, Δ = 4
+	res := RandomizedMIS(g, params(), detrand.New(1))
+	if res.SeedBitsPerPhase > 24 {
+		t.Errorf("seed bits %d; expected O(log Δ) ~ small constant", res.SeedBitsPerPhase)
+	}
+	if res.Colors > 4096 {
+		t.Errorf("colour space %d too large", res.Colors)
+	}
+}
+
+func TestRandomizedPhasesComparableToDerandomized(t *testing.T) {
+	// The derandomized algorithm should not need dramatically more phases
+	// than the randomized one it simulates (both are Luby with colours).
+	g := gen.RandomRegular(1024, 6, 5)
+	rnd := RandomizedMIS(g, params(), detrand.New(7))
+	det := MIS(g, params(), nil)
+	if len(det.Phases) > 3*len(rnd.Phases)+3 {
+		t.Errorf("derandomized %d phases vs randomized %d", len(det.Phases), len(rnd.Phases))
+	}
+}
+
+func TestRandomizedPhasesMakeProgressInExpectation(t *testing.T) {
+	g := gen.RandomRegular(2048, 8, 9)
+	res := RandomizedMIS(g, params(), detrand.New(11))
+	for _, ph := range res.Phases {
+		if ph.EdgesAfter >= ph.EdgesBefore {
+			t.Fatalf("phase %d made no progress (possible with tiny probability; deterministic seed says bug)", ph.Phase)
+		}
+	}
+}
+
+func TestRandomizedReproducibleGivenSource(t *testing.T) {
+	g := gen.Grid2D(20, 20)
+	a := RandomizedMIS(g, params(), detrand.New(42))
+	b := RandomizedMIS(g, params(), detrand.New(42))
+	if len(a.IndependentSet) != len(b.IndependentSet) {
+		t.Fatal("same source, different outputs")
+	}
+	for i := range a.IndependentSet {
+		if a.IndependentSet[i] != b.IndependentSet[i] {
+			t.Fatal("same source, different outputs")
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package luby provides the comparison baselines of the experiment suite:
+// Luby's classical randomized MIS algorithm (Section 2.1 of the paper), its
+// matching variant (MIS on edges, cf. Israeli–Itai), and the sequential
+// greedy references. The randomized algorithms consume a detrand source and
+// report per-round progress so experiment F1/F2 can overlay their edge-decay
+// and round curves against the deterministic algorithms'.
+package luby
+
+import (
+	"repro/internal/check"
+	"repro/internal/detrand"
+	"repro/internal/graph"
+)
+
+// RoundStats records one randomized round.
+type RoundStats struct {
+	Round       int
+	EdgesBefore int
+	EdgesAfter  int
+	Selected    int
+}
+
+// MISResult is the outcome of the randomized MIS.
+type MISResult struct {
+	IndependentSet []graph.NodeID
+	Rounds         []RoundStats
+}
+
+// MIS runs Luby's algorithm: every round each surviving node draws a random
+// z value and joins the independent set iff its value is strictly smaller
+// (ties by id) than all surviving neighbours'; the set and its neighbourhood
+// leave the graph. Terminates when no edges remain; isolated nodes join.
+func MIS(g *graph.Graph, src *detrand.Source) *MISResult {
+	n := g.N()
+	res := &MISResult{}
+	cur := g
+	alive := make([]bool, n)
+	for v := range alive {
+		alive[v] = true
+	}
+	inMIS := make([]bool, n)
+
+	for round := 1; ; round++ {
+		for v := 0; v < n; v++ {
+			if alive[v] && cur.Degree(graph.NodeID(v)) == 0 {
+				inMIS[v] = true
+				alive[v] = false
+			}
+		}
+		if cur.M() == 0 {
+			break
+		}
+		st := RoundStats{Round: round, EdgesBefore: cur.M()}
+		z := make([]uint64, n)
+		for v := 0; v < n; v++ {
+			if alive[v] {
+				z[v] = src.Uint64()
+			}
+		}
+		remove := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if !alive[v] || cur.Degree(graph.NodeID(v)) == 0 {
+				continue
+			}
+			isMin := true
+			for _, u := range cur.Neighbors(graph.NodeID(v)) {
+				if z[u] < z[v] || (z[u] == z[v] && u < graph.NodeID(v)) {
+					isMin = false
+					break
+				}
+			}
+			if isMin {
+				inMIS[v] = true
+				alive[v] = false
+				remove[v] = true
+				st.Selected++
+			}
+		}
+		for v := 0; v < n; v++ {
+			if !remove[v] || !inMIS[v] {
+				continue
+			}
+			for _, u := range cur.Neighbors(graph.NodeID(v)) {
+				if alive[u] {
+					alive[u] = false
+					remove[u] = true
+				}
+			}
+		}
+		cur = cur.WithoutNodes(remove)
+		st.EdgesAfter = cur.M()
+		res.Rounds = append(res.Rounds, st)
+	}
+	for v := 0; v < n; v++ {
+		if inMIS[v] {
+			res.IndependentSet = append(res.IndependentSet, graph.NodeID(v))
+		}
+	}
+	return res
+}
+
+// MatchingResult is the outcome of the randomized maximal matching.
+type MatchingResult struct {
+	Matching []graph.Edge
+	Rounds   []RoundStats
+}
+
+// MaximalMatching runs the Luby-style matching: every round each surviving
+// edge draws a random value; local-minimum edges join the matching and their
+// endpoints leave the graph.
+func MaximalMatching(g *graph.Graph, src *detrand.Source) *MatchingResult {
+	res := &MatchingResult{}
+	cur := g
+	n := g.N()
+	for round := 1; cur.M() > 0; round++ {
+		st := RoundStats{Round: round, EdgesBefore: cur.M()}
+		edges := cur.Edges()
+		z := make(map[graph.Edge]uint64, len(edges))
+		for _, e := range edges {
+			z[e] = src.Uint64()
+		}
+		matched := make([]bool, n)
+		var picked []graph.Edge
+		for _, e := range edges {
+			isMin := true
+			ze := z[e]
+			for _, end := range [2]graph.NodeID{e.U, e.V} {
+				for _, u := range cur.Neighbors(end) {
+					other := graph.Edge{U: end, V: u}.Canon()
+					if other == e {
+						continue
+					}
+					zo := z[other]
+					if zo < ze || (zo == ze && other.Key(n) < e.Key(n)) {
+						isMin = false
+						break
+					}
+				}
+				if !isMin {
+					break
+				}
+			}
+			if isMin {
+				picked = append(picked, e)
+			}
+		}
+		for _, e := range picked {
+			matched[e.U] = true
+			matched[e.V] = true
+		}
+		st.Selected = len(picked)
+		res.Matching = append(res.Matching, picked...)
+		cur = cur.WithoutNodes(matched)
+		st.EdgesAfter = cur.M()
+		res.Rounds = append(res.Rounds, st)
+	}
+	return res
+}
+
+// GreedyMIS returns the sequential greedy MIS in id order — the simplest
+// correct reference for validators and size comparisons.
+func GreedyMIS(g *graph.Graph) []graph.NodeID {
+	var out []graph.NodeID
+	blocked := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		if blocked[v] {
+			continue
+		}
+		out = append(out, graph.NodeID(v))
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			blocked[u] = true
+		}
+	}
+	return out
+}
+
+// GreedyMatching returns the sequential greedy maximal matching in canonical
+// edge order.
+func GreedyMatching(g *graph.Graph) []graph.Edge {
+	var out []graph.Edge
+	used := make([]bool, g.N())
+	for u := 0; u < g.N(); u++ {
+		if used[u] {
+			continue
+		}
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			if graph.NodeID(u) < v && !used[v] {
+				out = append(out, graph.Edge{U: graph.NodeID(u), V: v})
+				used[u] = true
+				used[v] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Verify panics if the given outputs are not maximal on g; used by the
+// experiment harness to guard every baseline run.
+func Verify(g *graph.Graph, is []graph.NodeID, mm []graph.Edge) {
+	if is != nil {
+		if ok, reason := check.IsMaximalIS(g, is); !ok {
+			panic("luby: baseline produced invalid MIS: " + reason)
+		}
+	}
+	if mm != nil {
+		if ok, reason := check.IsMaximalMatching(g, mm); !ok {
+			panic("luby: baseline produced invalid matching: " + reason)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Package matching implements Theorem 7 of the paper: a deterministic fully
+// scalable MPC algorithm computing a maximal matching in O(log n) rounds
+// with O(n^ε) space per machine.
+//
+// Each outer iteration (Algorithm 2) runs in O(1) charged MPC rounds:
+//
+//  1. pick the degree class whose good nodes B carry a δ/2-fraction of the
+//     edges and sparsify the incident edge set E0 down to E* with maximum
+//     degree O(n^{4δ}) (internal/sparsify, Section 3.2);
+//  2. collect 2-hop neighbourhoods of E* onto machines (asserted <= space
+//     budget) and derandomize one Luby step: a pairwise-independent seed
+//     maps edges to z-values, the candidate matching E_h consists of the
+//     local-minimum edges, and the method of conditional expectations picks
+//     a seed for which the matched B-nodes carry a constant fraction of the
+//     proven expectation Σ_{v∈B} d(v)/109 (Lemma 13);
+//  3. add E_h to the output and delete the matched nodes.
+//
+// Each iteration removes a constant fraction of the edges, so O(log n)
+// iterations suffice; the loop is unconditionally correct regardless of the
+// thresholds because a non-empty E_h always makes progress and the final
+// matching is maximal by construction (edges only disappear when an
+// endpoint is matched).
+package matching
+
+import (
+	"repro/internal/condexp"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/simcost"
+	"repro/internal/sparsify"
+)
+
+// IterStats records one outer iteration.
+type IterStats struct {
+	Iteration        int
+	EdgesBefore      int
+	EdgesAfter       int
+	RemovedFraction  float64
+	ClassIndex       int
+	Stages           int
+	SparsifyFallback bool
+	EStarEdges       int
+	EStarMaxDegree   int
+	MaxBallWords     int // largest collected 2-hop neighbourhood (words)
+	SeedsTried       int
+	SeedFound        bool // progress threshold met (vs best-effort seed)
+	MatchedEdges     int
+	ObjectiveValue   int64 // Σ_{v∈B matched} d(v) under the selected seed
+	Threshold        int64
+}
+
+// Result is the outcome of the deterministic maximal matching.
+type Result struct {
+	Matching   []graph.Edge
+	Iterations []IterStats
+	// FallbackPicks counts iterations that resorted to the single
+	// smallest-key edge because the candidate matching came back empty
+	// (never observed in practice; kept for unconditional correctness).
+	FallbackPicks int
+}
+
+// Deterministic computes a maximal matching of g with the derandomized
+// algorithm of Section 3. The model, when non-nil, is charged all MPC
+// rounds and validates all machine-space claims.
+func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result {
+	p.Validate()
+	res := &Result{}
+	cur := g
+	n := g.N()
+	fam := core.PairwiseFamily(n)
+
+	for iter := 1; cur.M() > 0; iter++ {
+		st := IterStats{Iteration: iter, EdgesBefore: cur.M()}
+
+		sp := sparsify.SparsifyEdges(cur, p, model)
+		estar := sp.EStar
+		estarEdges := estar.Edges()
+		st.ClassIndex = sp.ClassIndex
+		st.Stages = len(sp.Stages)
+		st.SparsifyFallback = sp.UsedFallback
+		st.EStarEdges = len(estarEdges)
+		st.EStarMaxDegree = estar.MaxDegree()
+
+		// Collect 2-hop neighbourhoods in E* for the B-nodes: machine x_v
+		// holds v's incident E*-edges and their incident E*-edges.
+		st.MaxBallWords = maxTwoHopWords(estar, sp.B)
+		model.AssertMachineWords(st.MaxBallWords, "mm.2hop")
+		model.ChargeRounds(2, "mm.collect") // sort + request round (§2.2)
+
+		// Derandomized Luby step on E* (Section 3.3).
+		deg := sp.Deg
+		zOf := func(seed []uint64) func(graph.Edge) uint64 {
+			return func(e graph.Edge) uint64 {
+				return fam.Eval(seed, core.SlotKey(e.Key(n), 0, n))
+			}
+		}
+		objective := func(seed []uint64) int64 {
+			eh := core.LocalMinEdges(estar, estarEdges, zOf(seed))
+			var value int64
+			for _, e := range eh {
+				if sp.B[e.U] {
+					value += int64(deg[e.U])
+				}
+				if sp.B[e.V] {
+					value += int64(deg[e.V])
+				}
+			}
+			return value
+		}
+		// Lemma 13 ⇒ E_h[Σ_{v∈N_h} d(v)] >= Σ_{v∈B} d(v)/109; we demand a
+		// ThresholdFrac fraction of that.
+		st.Threshold = int64(p.ThresholdFrac * float64(sp.BWeight) / 109.0)
+		if st.Threshold < 1 {
+			st.Threshold = 1
+		}
+		search, err := condexp.SearchAtLeast(fam, objective, st.Threshold, condexp.Options{
+			Model:    model,
+			Label:    "mm.seed",
+			MaxSeeds: p.MaxSeedsPerSearch,
+			Parallel: p.Parallel,
+		})
+		if err != nil {
+			panic(err) // family is never empty
+		}
+		st.SeedsTried = search.SeedsTried
+		st.SeedFound = search.Found
+		st.ObjectiveValue = search.Value
+
+		eh := core.LocalMinEdges(estar, estarEdges, zOf(search.Seed))
+		if len(eh) == 0 {
+			// Unconditional-progress fallback: match the smallest-key edge.
+			eh = []graph.Edge{smallestEdge(cur)}
+			res.FallbackPicks++
+		}
+		st.MatchedEdges = len(eh)
+		res.Matching = append(res.Matching, eh...)
+
+		matched := make([]bool, n)
+		for _, e := range eh {
+			matched[e.U] = true
+			matched[e.V] = true
+		}
+		cur = cur.WithoutNodes(matched)
+		model.ChargeScan("mm.apply")
+
+		st.EdgesAfter = cur.M()
+		st.RemovedFraction = float64(st.EdgesBefore-st.EdgesAfter) / float64(st.EdgesBefore)
+		res.Iterations = append(res.Iterations, st)
+	}
+	return res
+}
+
+// maxTwoHopWords returns the largest number of words a machine holds when
+// the 2-hop E*-neighbourhood of a B-node is collected: the node's incident
+// edges plus its neighbours' incident edges (2 words per edge).
+func maxTwoHopWords(estar *graph.Graph, b []bool) int {
+	max := 0
+	for v := 0; v < estar.N(); v++ {
+		if !b[v] {
+			continue
+		}
+		words := 2 * estar.Degree(graph.NodeID(v))
+		for _, u := range estar.Neighbors(graph.NodeID(v)) {
+			words += 2 * estar.Degree(u)
+		}
+		if words > max {
+			max = words
+		}
+	}
+	return max
+}
+
+// smallestEdge returns the canonical minimum-key edge of a non-empty graph.
+func smallestEdge(g *graph.Graph) graph.Edge {
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if graph.NodeID(v) < u {
+				return graph.Edge{U: graph.NodeID(v), V: u}
+			}
+		}
+	}
+	panic("matching: smallestEdge on empty graph")
+}

@@ -1,0 +1,231 @@
+// Package mis implements Theorem 14 of the paper: a deterministic fully
+// scalable MPC algorithm computing a maximal independent set in O(log n)
+// rounds with O(n^ε) space per machine.
+//
+// Each outer iteration (Algorithm 3) runs in O(1) charged MPC rounds:
+//
+//  1. isolated nodes join the MIS;
+//  2. the node sparsification of Section 4.2 picks the class Q0 = C_i whose
+//     good nodes B (Corollary 16) see a δ/3 reciprocal-degree mass in C_i,
+//     and subsamples Q0 down to Q' with induced degree O(n^{4δ});
+//  3. every B-node's machine gathers a set N_v of up to n^{4δ} of its Q'
+//     neighbours with their Q'-neighbourhoods (asserted <= space budget);
+//  4. one Luby step is derandomized: nodes get pairwise-independent
+//     z-values, the candidate independent set I_h consists of the Q'-local
+//     minima, and the seed search targets a constant fraction of Lemma 21's
+//     bound E[Σ_{v∈N_h} d(v)] >= 0.01δ·Σ_{v∈B} d(v);
+//  5. I_h joins the output and I_h ∪ N(I_h) leaves the graph.
+//
+// As with matching, correctness is unconditional: I_h is independent by
+// construction, non-empty whenever edges remain, and the loop ends with all
+// surviving nodes isolated and added to the MIS.
+package mis
+
+import (
+	"repro/internal/condexp"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/simcost"
+	"repro/internal/sparsify"
+)
+
+// IterStats records one outer iteration.
+type IterStats struct {
+	Iteration        int
+	EdgesBefore      int
+	EdgesAfter       int
+	RemovedFraction  float64
+	ClassIndex       int
+	Stages           int
+	SparsifyFallback bool
+	QSize            int
+	QMaxDegree       int
+	MaxMachineWords  int
+	SeedsTried       int
+	SeedFound        bool
+	Selected         int // |I_h|
+	Removed          int // |I_h ∪ N(I_h)|
+	ObjectiveValue   int64
+	Threshold        int64
+	IsolatedJoined   int
+}
+
+// Result is the outcome of the deterministic MIS computation.
+type Result struct {
+	IndependentSet []graph.NodeID
+	Iterations     []IterStats
+}
+
+// Deterministic computes a maximal independent set of g with the
+// derandomized algorithm of Section 4.
+func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result {
+	p.Validate()
+	n := g.N()
+	res := &Result{}
+	if n == 0 {
+		return res
+	}
+	cur := g
+	alive := make([]bool, n)
+	for v := range alive {
+		alive[v] = true
+	}
+	inMIS := make([]bool, n)
+	fam := core.PairwiseFamily(n)
+	gamma := core.NewDegreeClasses(n, p.InvDelta).GroupSize()
+
+	joinIsolated := func(st *IterStats) {
+		for v := 0; v < n; v++ {
+			if alive[v] && cur.Degree(graph.NodeID(v)) == 0 {
+				inMIS[v] = true
+				alive[v] = false
+				if st != nil {
+					st.IsolatedJoined++
+				}
+			}
+		}
+	}
+
+	for iter := 1; ; iter++ {
+		st := IterStats{Iteration: iter, EdgesBefore: cur.M()}
+		joinIsolated(&st)
+		if cur.M() == 0 {
+			if st.IsolatedJoined > 0 {
+				res.Iterations = append(res.Iterations, st)
+			}
+			break
+		}
+
+		sp := sparsify.SparsifyNodes(cur, p, model)
+		q := sp.QGraph
+		st.ClassIndex = sp.ClassIndex
+		st.Stages = len(sp.Stages)
+		st.SparsifyFallback = sp.UsedFallback
+		st.QSize = len(qNodes(sp.Q))
+		st.QMaxDegree = q.MaxDegree()
+
+		// N_v construction (Section 4.3): up to γ of v's Q'-neighbours (the
+		// smallest ids — "an arbitrary subset" — for determinism), plus
+		// their Q'-neighbourhoods on v's machine.
+		nvOf := make([][]graph.NodeID, 0, n)
+		nvOwner := make([]graph.NodeID, 0, n)
+		maxWords := 0
+		for v := 0; v < n; v++ {
+			if !sp.B[v] {
+				continue
+			}
+			var nv []graph.NodeID
+			for _, u := range cur.Neighbors(graph.NodeID(v)) {
+				if sp.Q[u] {
+					nv = append(nv, u)
+					if len(nv) == gamma {
+						break
+					}
+				}
+			}
+			if len(nv) == 0 {
+				continue
+			}
+			words := len(nv)
+			for _, u := range nv {
+				words += q.Degree(u)
+			}
+			if words > maxWords {
+				maxWords = words
+			}
+			nvOf = append(nvOf, nv)
+			nvOwner = append(nvOwner, graph.NodeID(v))
+		}
+		st.MaxMachineWords = maxWords
+		model.AssertMachineWords(maxWords, "mis.Nv")
+		model.ChargeRounds(2, "mis.collect")
+
+		deg := sp.Deg
+		zOf := func(seed []uint64) func(graph.NodeID) uint64 {
+			return func(v graph.NodeID) uint64 {
+				return fam.Eval(seed, core.SlotKey(uint64(v), 0, n))
+			}
+		}
+		objective := func(seed []uint64) int64 {
+			ih := core.LocalMinNodes(q, sp.Q, zOf(seed))
+			inIh := make([]bool, n)
+			for _, v := range ih {
+				inIh[v] = true
+			}
+			var value int64
+			for t, nv := range nvOf {
+				for _, u := range nv {
+					if inIh[u] {
+						value += int64(deg[nvOwner[t]])
+						break
+					}
+				}
+			}
+			return value
+		}
+		// Lemma 21 ⇒ E[Σ_{v∈N_h} d(v)] >= 0.01δ·Σ_{v∈B} d(v).
+		st.Threshold = int64(p.ThresholdFrac * 0.01 * p.Delta() * float64(sp.BWeight))
+		if st.Threshold < 1 {
+			st.Threshold = 1
+		}
+		search, err := condexp.SearchAtLeast(fam, objective, st.Threshold, condexp.Options{
+			Model:    model,
+			Label:    "mis.seed",
+			MaxSeeds: p.MaxSeedsPerSearch,
+			Parallel: p.Parallel,
+		})
+		if err != nil {
+			panic(err)
+		}
+		st.SeedsTried = search.SeedsTried
+		st.SeedFound = search.Found
+		st.ObjectiveValue = search.Value
+
+		ih := core.LocalMinNodes(q, sp.Q, zOf(search.Seed))
+		st.Selected = len(ih)
+		remove := make([]bool, n)
+		for _, v := range ih {
+			inMIS[v] = true
+			alive[v] = false
+			remove[v] = true
+			res.IndependentSet = append(res.IndependentSet, v)
+			st.Removed++
+		}
+		for _, v := range ih {
+			for _, u := range cur.Neighbors(v) {
+				if !remove[u] {
+					remove[u] = true
+					alive[u] = false
+					st.Removed++
+				}
+			}
+		}
+		cur = cur.WithoutNodes(remove)
+		model.ChargeScan("mis.apply")
+
+		st.EdgesAfter = cur.M()
+		if st.EdgesBefore > 0 {
+			st.RemovedFraction = float64(st.EdgesBefore-st.EdgesAfter) / float64(st.EdgesBefore)
+		}
+		res.Iterations = append(res.Iterations, st)
+	}
+
+	// Collect the isolated joins performed before the loop exited.
+	res.IndependentSet = res.IndependentSet[:0]
+	for v := 0; v < n; v++ {
+		if inMIS[v] {
+			res.IndependentSet = append(res.IndependentSet, graph.NodeID(v))
+		}
+	}
+	return res
+}
+
+func qNodes(mask []bool) []graph.NodeID {
+	var out []graph.NodeID
+	for v, in := range mask {
+		if in {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}

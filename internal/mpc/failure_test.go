@@ -1,0 +1,93 @@
+package mpc
+
+import (
+	"strings"
+	"testing"
+)
+
+// Failure-injection tests: the simulator must surface model violations
+// rather than silently absorbing them.
+
+func TestSortSkewedKeysOverloadsOneMachine(t *testing.T) {
+	// All-equal keys defeat splitter election: one machine receives
+	// everything in the partition round. Non-strict mode must record the
+	// inbox violation; the data must still come out sorted (the simulator
+	// degrades, it does not corrupt).
+	const n, machines, space = 4096, 8, 600
+	c := NewCluster(Config{Machines: machines, Space: space})
+	data := make([]uint64, n)
+	for i := range data {
+		data[i] = 7 // fully degenerate key distribution
+	}
+	if err := c.LoadBalanced(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := Sort(c); err != nil {
+		t.Fatalf("non-strict sort errored: %v", err)
+	}
+	st := c.Stats()
+	if len(st.Violations) == 0 {
+		t.Error("skewed sort produced no recorded violations")
+	}
+	found := false
+	for _, v := range st.Violations {
+		if strings.Contains(v, "inbox") || strings.Contains(v, "store") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations do not mention inbox/store overload: %v", st.Violations)
+	}
+	out := c.GatherAll()
+	if len(out) != n {
+		t.Fatalf("lost data: %d of %d words", len(out), n)
+	}
+	for _, w := range out {
+		if w != 7 {
+			t.Fatal("data corrupted")
+		}
+	}
+}
+
+func TestStrictSortFailsFastOnSkew(t *testing.T) {
+	c := NewCluster(Config{Machines: 8, Space: 600, Strict: true})
+	data := make([]uint64, 4096)
+	if err := c.LoadBalanced(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := Sort(c); err == nil {
+		t.Error("strict mode accepted an overloading sort")
+	}
+}
+
+func TestBroadcastOversizedPayloadRecorded(t *testing.T) {
+	// Payload bigger than S: the fanout shrinks to 2 but each message still
+	// exceeds S, so violations must be recorded.
+	c := NewCluster(Config{Machines: 4, Space: 8})
+	if _, err := Broadcast(c, make([]uint64, 64)); err != nil {
+		t.Fatalf("non-strict broadcast errored: %v", err)
+	}
+	if len(c.Stats().Violations) == 0 {
+		t.Error("oversized broadcast not flagged")
+	}
+}
+
+func TestRoundAfterViolationContinues(t *testing.T) {
+	// Non-strict clusters keep executing after violations — the ablation
+	// experiments rely on this to measure "what would have happened".
+	c := NewCluster(Config{Machines: 2, Space: 4})
+	for r := 0; r < 3; r++ {
+		err := c.Round("x", func(ctx *MachineCtx) {
+			ctx.SetStore(make([]uint64, 100))
+		})
+		if err != nil {
+			t.Fatalf("round %d errored: %v", r, err)
+		}
+	}
+	if c.Stats().Rounds != 3 {
+		t.Errorf("rounds = %d", c.Stats().Rounds)
+	}
+	if len(c.Stats().Violations) < 3 {
+		t.Errorf("violations = %d, want >= 3", len(c.Stats().Violations))
+	}
+}

@@ -1,0 +1,163 @@
+package mpcgraph
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+)
+
+func TestEncodeDecode(t *testing.T) {
+	for _, pair := range [][2]graph.NodeID{{0, 0}, {1, 2}, {1 << 20, 3}, {42, 1<<31 - 1}} {
+		u, v := decode(encode(pair[0], pair[1]))
+		if u != pair[0] || v != pair[1] {
+			t.Errorf("round trip (%d,%d) -> (%d,%d)", pair[0], pair[1], u, v)
+		}
+	}
+}
+
+func TestLoadHoldsAllEdges(t *testing.T) {
+	g := gen.GNM(200, 800, 1)
+	d, err := Load(g, 8, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TotalEdgeWords() != 2*g.M() {
+		t.Errorf("cluster holds %d words, want %d", d.TotalEdgeWords(), 2*g.M())
+	}
+}
+
+func TestLoadRejectsTinySpace(t *testing.T) {
+	g := gen.Complete(64)
+	if _, err := Load(g, 2, 16); err == nil {
+		t.Error("overfull load accepted")
+	}
+}
+
+func TestDegreesMatchInMemory(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"gnm":   gen.GNM(300, 1500, 2),
+		"star":  gen.Star(100),
+		"grid":  gen.Grid2D(10, 12),
+		"cycle": gen.Cycle(77),
+	} {
+		d, err := Load(g, 8, 1<<13)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := d.Degrees()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := g.Degrees()
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: deg(%d) = %d, want %d", name, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestDegreesRoundCount(t *testing.T) {
+	g := gen.GNM(256, 1024, 3)
+	d, err := Load(g, 8, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Degrees(); err != nil {
+		t.Fatal(err)
+	}
+	// Sort (4) + publish/collect (2) = 6 rounds, constant in the graph size.
+	if r := d.Cluster.Stats().Rounds; r != 6 {
+		t.Errorf("degree computation took %d rounds, want 6", r)
+	}
+	if v := d.Cluster.Stats().Violations; len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := gen.Star(50) // one node of degree 49, 49 nodes of degree 1
+	d, err := Load(g, 4, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg, err := d.Degrees()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := d.DegreeHistogram(deg, 49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist[1] != 49 || hist[49] != 1 {
+		t.Errorf("histogram wrong: deg1=%d deg49=%d", hist[1], hist[49])
+	}
+	var total uint64
+	for _, h := range hist {
+		total += h
+	}
+	if total != 50 {
+		t.Errorf("histogram counts %d nodes, want 50", total)
+	}
+}
+
+func TestCollectNeighborhood(t *testing.T) {
+	g := gen.Grid2D(6, 6)
+	d, err := Load(g, 6, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []graph.NodeID{0, 7, 35} {
+		got, err := d.CollectNeighborhood(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.Neighbors(v)
+		if len(got) != len(want) {
+			t.Fatalf("N(%d): got %v, want %v", v, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("N(%d): got %v, want %v", v, got, want)
+			}
+		}
+	}
+}
+
+func TestSortByNodeIdempotent(t *testing.T) {
+	g := gen.GNM(100, 400, 5)
+	d, err := Load(g, 4, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SortByNode(); err != nil {
+		t.Fatal(err)
+	}
+	first := d.Cluster.GatherAll()
+	if err := d.SortByNode(); err != nil {
+		t.Fatal(err)
+	}
+	second := d.Cluster.GatherAll()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("second sort changed the data")
+		}
+	}
+}
+
+func TestDistributedAgainstCostModelConsistency(t *testing.T) {
+	// The cost model charges 4 rounds for a sort; the message-level sort
+	// takes exactly 4. This is the cross-validation anchoring simcost.
+	g := gen.GNM(256, 1024, 9)
+	d, err := Load(g, 8, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SortByNode(); err != nil {
+		t.Fatal(err)
+	}
+	if r := d.Cluster.Stats().RoundsByLabel()["sort"]; r != 4 {
+		t.Errorf("message-level sort = %d rounds; simcost charges 4", r)
+	}
+}

@@ -1,0 +1,293 @@
+package sparsify
+
+import (
+	"math"
+
+	"repro/internal/condexp"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/simcost"
+)
+
+// EdgeResult is the outcome of the Section 3.2 sparsification: the chosen
+// degree class, the good-node set B, the initial edge set E0 = ∪_{v∈B} X(v)
+// and the final low-degree subgraph E*.
+type EdgeResult struct {
+	ClassIndex int    // i of Corollary 8
+	B          []bool // good nodes B = C_i ∩ X
+	BWeight    int64  // Σ_{v∈B} d(v) (Corollary 8 lower-bounds it by δ|E|/2)
+	Deg        []int  // degrees in the input graph (the d(·) of the analysis)
+	E0         []graph.Edge
+	EStar      *graph.Graph // subgraph on the same node ids
+	Stages     []StageReport
+	// UsedFallback is set when subsampling emptied the candidate set and
+	// E* was reset to E0 to preserve unconditional progress.
+	UsedFallback bool
+}
+
+// MaxDegreeBound returns the paper's bound 2n^{4δ} on d_{E*}(v) (§3.3
+// property (i)); the caller compares it with EStar.MaxDegree().
+func MaxDegreeBound(n, invDelta int) int {
+	dc := core.NewDegreeClasses(n, invDelta)
+	return 2 * dc.GroupSize()
+}
+
+// inE0 reports whether the edge {a,b} belongs to E0 = ∪_{v∈B} X(v), where
+// X(v) = {{u,v} ∈ E : d(u) <= d(v)}.
+func inE0(b []bool, deg []int, e graph.Edge) bool {
+	return (b[e.U] && deg[e.V] <= deg[e.U]) || (b[e.V] && deg[e.U] <= deg[e.V])
+}
+
+// inXof reports whether edge {v,u} (from v's perspective) lies in X(v).
+func inXof(deg []int, v, u graph.NodeID) bool { return deg[u] <= deg[v] }
+
+// SparsifyEdges runs the deterministic edge sparsification of Section 3.2 on
+// g. The model (optional) is charged the Lemma 4 rounds and seed batches.
+// g must have at least one edge.
+func SparsifyEdges(g *graph.Graph, p core.Params, model *simcost.Model) *EdgeResult {
+	p.Validate()
+	n := g.N()
+	deg := g.Degrees()
+	model.ChargeSort("sparsify.degrees") // nodes learn degrees (Lemma 4)
+
+	x := core.ComputeX(g, deg)
+	model.ChargeSort("sparsify.X") // membership of X via sorted join
+
+	dc := core.NewDegreeClasses(n, p.InvDelta)
+	classOf := make([]int, n)
+	for v := 0; v < n; v++ {
+		classOf[v] = dc.Class(deg[v])
+	}
+	// Corollary 8: pick i maximising Σ_{v∈B_i} d(v), B_i = C_i ∩ X.
+	weights := make([]int64, dc.K+1)
+	for v := 0; v < n; v++ {
+		if x[v] {
+			weights[classOf[v]] += int64(deg[v])
+		}
+	}
+	model.ChargeScan("sparsify.classes")
+	i := 1
+	for c := 2; c <= dc.K; c++ {
+		if weights[c] > weights[i] {
+			i = c
+		}
+	}
+	b := make([]bool, n)
+	for v := 0; v < n; v++ {
+		b[v] = x[v] && classOf[v] == i
+	}
+
+	// E0 = ∪_{v∈B} X(v).
+	var e0 []graph.Edge
+	for _, e := range g.Edges() {
+		if inE0(b, deg, e) {
+			e0 = append(e0, e)
+		}
+	}
+	res := &EdgeResult{
+		ClassIndex: i,
+		B:          b,
+		BWeight:    weights[i],
+		Deg:        deg,
+		E0:         e0,
+	}
+
+	stages := core.StageCount(i)
+	cur := e0
+	curG := graph.FromEdges(n, cur)
+	dE0 := curG.Degrees() // d_{E0}(v), the invariant's reference degrees
+
+	for j := 1; j <= stages && len(cur) > 0; j++ {
+		report := runEdgeStage(g, curG, cur, b, deg, dE0, dc, p, j, model)
+		next := report.next
+		res.Stages = append(res.Stages, report.StageReport)
+		cur = next
+		curG = graph.FromEdges(n, cur)
+	}
+	if len(cur) == 0 && len(e0) > 0 {
+		// Subsampling emptied the set (possible at laptop scale); fall back
+		// to E0 so the outer loop always makes progress. Note that when
+		// this happens 2-hop balls may exceed S; the model records it.
+		cur = e0
+		curG = graph.FromEdges(n, cur)
+		res.UsedFallback = true
+	}
+	res.EStar = curG
+	return res
+}
+
+// edgeStageOutcome bundles a stage report with the surviving edges.
+type edgeStageOutcome struct {
+	StageReport
+	next []graph.Edge
+}
+
+// edgeGroup is one logical machine: a contiguous run of the flattened
+// incidence arrays. kind 0 = type A (two-sided concentration of the count),
+// kind 1 = type B (two-sided as well, per §3.2's goodness definition).
+type edgeGroup struct {
+	start, end int
+	kind       uint8
+}
+
+func runEdgeStage(g, curG *graph.Graph, cur []graph.Edge, b []bool, deg, dE0 []int,
+	dc *core.DegreeClasses, p core.Params, j int, model *simcost.Model) edgeStageOutcome {
+
+	n := g.N()
+	gamma := dc.GroupSize()
+	fam := core.KWiseFamily(n, p.KWise)
+	th := core.StageThreshold(fam.P(), n, dc.K)
+	sampleProb := float64(th) / float64(fam.P())
+
+	// Flatten type-A groups (each node's incident cur-edges in chunks of γ)
+	// and type-B groups (for v ∈ B, the X(v)∩cur edges in chunks of γ).
+	var keys []uint64
+	var groups []edgeGroup
+	appendGroups := func(list []uint64, kind uint8) {
+		for lo := 0; lo < len(list); lo += gamma {
+			hi := lo + gamma
+			if hi > len(list) {
+				hi = len(list)
+			}
+			groups = append(groups, edgeGroup{start: len(keys) + lo, end: len(keys) + hi, kind: kind})
+		}
+		keys = append(keys, list...)
+	}
+	// Stage j hashes edges in domain-separation slot j so that every stage
+	// sees fresh independent values (see core.SlotKey).
+	edgeKey := func(v graph.NodeID, u graph.NodeID) uint64 {
+		return core.SlotKey(graph.Edge{U: v, V: u}.Key(n), j, n)
+	}
+	var scratch []uint64
+	for v := 0; v < n; v++ {
+		nbrs := curG.Neighbors(graph.NodeID(v))
+		if len(nbrs) == 0 {
+			continue
+		}
+		scratch = scratch[:0]
+		for _, u := range nbrs {
+			scratch = append(scratch, edgeKey(graph.NodeID(v), u))
+		}
+		appendGroups(scratch, 0)
+	}
+	for v := 0; v < n; v++ {
+		if !b[v] {
+			continue
+		}
+		scratch = scratch[:0]
+		for _, u := range curG.Neighbors(graph.NodeID(v)) {
+			if inXof(deg, graph.NodeID(v), u) {
+				scratch = append(scratch, edgeKey(graph.NodeID(v), u))
+			}
+		}
+		if len(scratch) > 0 {
+			appendGroups(scratch, 1)
+		}
+	}
+	model.ChargeSort("sparsify.distribute") // spread incident edges over machines
+
+	// Goodness objective: number of good groups under the seed.
+	goodGroups := func(seed []uint64) int64 {
+		inSample := make([]bool, len(keys))
+		for t, k := range keys {
+			inSample[t] = fam.Eval(seed, k) < th
+		}
+		var good int64
+		for _, gr := range groups {
+			ex := gr.end - gr.start
+			z := 0
+			for t := gr.start; t < gr.end; t++ {
+				if inSample[t] {
+					z++
+				}
+			}
+			mu := float64(ex) * sampleProb
+			dev := p.Slack * dc.DevTerm(ex)
+			if float64(z) >= mu-dev && float64(z) <= mu+dev {
+				good++
+			}
+		}
+		return good
+	}
+
+	res, err := condexp.SearchAtLeast(fam, goodGroups, int64(len(groups)), condexp.Options{
+		Model:     model,
+		Label:     "sparsify.seed",
+		MaxSeeds:  p.MaxSeedsPerSearch,
+		Parallel:  p.Parallel,
+		BatchSize: batchSize(model),
+	})
+	if err != nil {
+		// Only possible for an empty family, which cannot happen (p >= 2).
+		panic(err)
+	}
+
+	// Apply the selected seed: E_j = {e ∈ E_{j-1} : h(e) < th}.
+	var next []graph.Edge
+	for _, e := range cur {
+		if fam.Eval(res.Seed, core.SlotKey(e.Key(n), j, n)) < th {
+			next = append(next, e)
+		}
+	}
+	model.ChargeScan("sparsify.apply")
+
+	out := edgeStageOutcome{next: next}
+	out.Stage = j
+	out.ItemsBefore = len(cur)
+	out.ItemsAfter = len(next)
+	out.Groups = len(groups)
+	out.GoodGroups = int(goodGroups(res.Seed))
+	out.SeedsTried = res.SeedsTried
+	out.SeedFound = res.Found
+
+	// Invariant (i), Lemma 10: d_{Ej}(v) <= (1+o(1)) n^{-jδ} d_{E0}(v) + n^{3δ},
+	// checked with the slack as the (1+o(1)) factor.
+	nextG := graph.FromEdges(n, next)
+	nJD := math.Pow(float64(n), -float64(j)/float64(dc.K))
+	n3d := math.Pow(float64(n), 3/float64(dc.K))
+	invI := InvariantCheck{Name: "Lemma10: d_Ej(v) <= (1+o(1))n^{-jδ}d_E0(v)+n^{3δ}"}
+	invII := InvariantCheck{Name: "Lemma11: |X(v)∩Ej| >= (1-o(1))n^{-jδ}|X(v)|"}
+	for v := 0; v < n; v++ {
+		if dE0[v] == 0 {
+			continue
+		}
+		bound := p.Slack * (nJD*float64(dE0[v]) + n3d)
+		invI.observe(float64(nextG.Degree(graph.NodeID(v))) / bound)
+	}
+	// Invariant (ii), Lemma 11, for v ∈ B against |X(v)| in E0.
+	for v := 0; v < n; v++ {
+		if !b[v] {
+			continue
+		}
+		xv := 0
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if inXof(deg, graph.NodeID(v), u) && inE0(b, deg, graph.Edge{U: graph.NodeID(v), V: u}.Canon()) {
+				xv++
+			}
+		}
+		if xv == 0 {
+			continue
+		}
+		kept := 0
+		for _, u := range nextG.Neighbors(graph.NodeID(v)) {
+			if inXof(deg, graph.NodeID(v), u) {
+				kept++
+			}
+		}
+		// Lower-bound invariant: ratio = bound / measured, with the slack
+		// dividing the bound and an additive +1 absorbing integrality.
+		bound := nJD * float64(xv) / p.Slack
+		invII.observe(bound / (float64(kept) + 1))
+	}
+	out.InvariantI = invI
+	out.InvariantII = invII
+	return out
+}
+
+// batchSize picks the per-batch seed count: the model's S when present.
+func batchSize(model *simcost.Model) int {
+	if s := model.S(); s > 0 {
+		return s
+	}
+	return 64
+}

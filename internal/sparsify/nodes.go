@@ -1,0 +1,272 @@
+package sparsify
+
+import (
+	"math"
+
+	"repro/internal/condexp"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/simcost"
+)
+
+// NodeResult is the outcome of the Section 4.2 sparsification: the chosen
+// class Q0 = C_i, the good-node set B (Corollary 16) and the subsampled
+// low-degree node set Q' (as a mask over g's nodes).
+type NodeResult struct {
+	ClassIndex   int
+	B            []bool // v ∈ B iff Σ_{u∈C_i∼v} 1/d(u) >= δ/3
+	BWeight      int64  // Σ_{v∈B} d(v) >= δ|E|/2 by Corollary 16
+	Deg          []int
+	Q0           []bool
+	Q            []bool       // Q' mask
+	QGraph       *graph.Graph // induced subgraph on Q' (same node ids)
+	Stages       []StageReport
+	UsedFallback bool
+}
+
+// SparsifyNodes runs the deterministic node sparsification of Section 4.2.
+func SparsifyNodes(g *graph.Graph, p core.Params, model *simcost.Model) *NodeResult {
+	p.Validate()
+	n := g.N()
+	deg := g.Degrees()
+	model.ChargeSort("sparsify.degrees")
+
+	dc := core.NewDegreeClasses(n, p.InvDelta)
+	classOf := make([]int, n)
+	for v := 0; v < n; v++ {
+		classOf[v] = dc.Class(deg[v])
+	}
+
+	// B_i = {v : Σ_{u∈C_i∼v} 1/d(u) >= δ/3}; one pass accumulates all the
+	// per-class reciprocal sums of every node.
+	delta := p.Delta()
+	sums := make([]float64, n*(dc.K+1))
+	for v := 0; v < n; v++ {
+		row := sums[v*(dc.K+1):]
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			row[classOf[u]] += 1 / float64(deg[u])
+		}
+	}
+	model.ChargeSort("sparsify.classSums")
+
+	weights := make([]int64, dc.K+1)
+	for v := 0; v < n; v++ {
+		row := sums[v*(dc.K+1):]
+		for c := 1; c <= dc.K; c++ {
+			if row[c] >= delta/3-1e-12 {
+				weights[c] += int64(deg[v])
+			}
+		}
+	}
+	model.ChargeScan("sparsify.classes")
+	i := 1
+	for c := 2; c <= dc.K; c++ {
+		if weights[c] > weights[i] {
+			i = c
+		}
+	}
+	b := make([]bool, n)
+	q0 := make([]bool, n)
+	for v := 0; v < n; v++ {
+		b[v] = sums[v*(dc.K+1)+i] >= delta/3-1e-12
+		q0[v] = classOf[v] == i
+	}
+
+	res := &NodeResult{
+		ClassIndex: i,
+		B:          b,
+		BWeight:    weights[i],
+		Deg:        deg,
+		Q0:         q0,
+	}
+
+	stages := core.StageCount(i)
+	cur := append([]bool(nil), q0...)
+	for j := 1; j <= stages && countMask(cur) > 0; j++ {
+		report, next := runNodeStage(g, cur, b, deg, dc, p, i, j, model)
+		res.Stages = append(res.Stages, report)
+		cur = next
+	}
+	if countMask(cur) == 0 && countMask(q0) > 0 {
+		cur = append([]bool(nil), q0...)
+		res.UsedFallback = true
+	}
+	res.Q = cur
+	res.QGraph = g.InducedNodes(cur)
+	return res
+}
+
+func countMask(mask []bool) int {
+	c := 0
+	for _, m := range mask {
+		if m {
+			c++
+		}
+	}
+	return c
+}
+
+func runNodeStage(g *graph.Graph, cur, b []bool, deg []int,
+	dc *core.DegreeClasses, p core.Params, i, j int, model *simcost.Model) (StageReport, []bool) {
+
+	n := g.N()
+	gamma := dc.GroupSize()
+	fam := core.KWiseFamily(n, p.KWise)
+	th := core.StageThreshold(fam.P(), n, dc.K)
+	sampleProb := float64(th) / float64(fam.P())
+
+	// Flattened groups over node keys. kind 0 = type Q (count upper bound),
+	// kind 1 = type B (reciprocal-degree lower bound).
+	var keys []uint64
+	var weightsOf []float64 // 1/d(u), used by type B groups
+	var groups []edgeGroup
+	appendGroups := func(ids []graph.NodeID, kind uint8) {
+		for lo := 0; lo < len(ids); lo += gamma {
+			hi := lo + gamma
+			if hi > len(ids) {
+				hi = len(ids)
+			}
+			groups = append(groups, edgeGroup{start: len(keys) + lo, end: len(keys) + hi, kind: kind})
+		}
+		for _, u := range ids {
+			keys = append(keys, core.SlotKey(uint64(u), j, n))
+			weightsOf = append(weightsOf, 1/float64(deg[u]))
+		}
+	}
+	var scratch []graph.NodeID
+	curNeighbors := func(v int) []graph.NodeID {
+		scratch = scratch[:0]
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if cur[u] {
+				scratch = append(scratch, u)
+			}
+		}
+		return scratch
+	}
+	for v := 0; v < n; v++ {
+		if !cur[v] {
+			continue
+		}
+		if ids := curNeighbors(v); len(ids) > 0 {
+			appendGroups(ids, 0)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !b[v] {
+			continue
+		}
+		if ids := curNeighbors(v); len(ids) > 0 {
+			appendGroups(ids, 1)
+		}
+	}
+	model.ChargeSort("sparsify.distribute")
+
+	// Type-B deviation scale: the paper's n^{(0.9-i)δ}·√vx from the scaled
+	// Bellare-Rompel application (variables Z_u = n^{(i-1)δ}/d(u)).
+	devB := math.Pow(float64(n), (0.9-float64(i))/float64(dc.K))
+
+	goodGroups := func(seed []uint64) int64 {
+		inSample := make([]bool, len(keys))
+		for t, k := range keys {
+			inSample[t] = fam.Eval(seed, k) < th
+		}
+		var good int64
+		for _, gr := range groups {
+			ex := gr.end - gr.start
+			if gr.kind == 0 {
+				z := 0
+				for t := gr.start; t < gr.end; t++ {
+					if inSample[t] {
+						z++
+					}
+				}
+				mu := float64(ex) * sampleProb
+				dev := p.Slack * dc.DevTerm(ex)
+				if float64(z) <= mu+dev {
+					good++
+				}
+				continue
+			}
+			var zw, total float64
+			for t := gr.start; t < gr.end; t++ {
+				total += weightsOf[t]
+				if inSample[t] {
+					zw += weightsOf[t]
+				}
+			}
+			dev := p.Slack * devB * math.Sqrt(float64(ex))
+			if zw >= sampleProb*total-dev {
+				good++
+			}
+		}
+		return good
+	}
+
+	res, err := condexp.SearchAtLeast(fam, goodGroups, int64(len(groups)), condexp.Options{
+		Model:     model,
+		Label:     "sparsify.seed",
+		MaxSeeds:  p.MaxSeedsPerSearch,
+		Parallel:  p.Parallel,
+		BatchSize: batchSize(model),
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	next := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if cur[v] && fam.Eval(res.Seed, core.SlotKey(uint64(v), j, n)) < th {
+			next[v] = true
+		}
+	}
+	model.ChargeScan("sparsify.apply")
+
+	report := StageReport{
+		Stage:       j,
+		ItemsBefore: countMask(cur),
+		ItemsAfter:  countMask(next),
+		Groups:      len(groups),
+		GoodGroups:  int(goodGroups(res.Seed)),
+		SeedsTried:  res.SeedsTried,
+		SeedFound:   res.Found,
+	}
+
+	// Invariant (i), Lemma 17: for v ∈ Qj, d_{Qj}(v) <= (1+o(1)) n^{-jδ} d(v).
+	nJD := math.Pow(float64(n), -float64(j)/float64(dc.K))
+	n3d := math.Pow(float64(n), 3/float64(dc.K))
+	invI := InvariantCheck{Name: "Lemma17: d_Qj(v) <= (1+o(1))n^{-jδ}d(v)"}
+	invII := InvariantCheck{Name: "Lemma18: Σ_{u∈Qj∼v}1/d(u) >= (δ-o(1))/(3n^{δj})"}
+	for v := 0; v < n; v++ {
+		if !next[v] {
+			continue
+		}
+		dQ := 0
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if next[u] {
+				dQ++
+			}
+		}
+		// The additive n^{3δ} mirrors Lemma 10's small-degree regime (the
+		// proof of Lemma 17 stops shrinking once degrees fall below n^{3δ}).
+		bound := p.Slack * (nJD*float64(deg[v]) + n3d)
+		invI.observe(float64(dQ) / bound)
+	}
+	delta := p.Delta()
+	for v := 0; v < n; v++ {
+		if !b[v] {
+			continue
+		}
+		var sum float64
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if next[u] {
+				sum += 1 / float64(deg[u])
+			}
+		}
+		bound := delta / (3 * math.Pow(float64(n), float64(j)/float64(dc.K)) * p.Slack)
+		// +1/n absorbs integrality at laptop scale.
+		invII.observe(bound / (sum + 1/float64(n)))
+	}
+	report.InvariantI = invI
+	report.InvariantII = invII
+	return report, next
+}

@@ -1,0 +1,340 @@
+package sparsify
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/simcost"
+)
+
+func params() core.Params {
+	return core.DefaultParams()
+}
+
+// denseGraph has average degree ~64 at n=2048, putting the heavy class well
+// above i=4 so the stage machinery actually runs.
+func denseGraph() *graph.Graph {
+	return gen.GNM(2048, 2048*32, 7)
+}
+
+func TestSparsifyEdgesCorollary8(t *testing.T) {
+	g := denseGraph()
+	p := params()
+	res := SparsifyEdges(g, p, nil)
+	// Corollary 8: Σ_{v∈B} d(v) >= δ/2 |E|.
+	minW := int64(p.Delta() / 2 * float64(g.M()))
+	if res.BWeight < minW {
+		t.Errorf("BWeight = %d < δ|E|/2 = %d", res.BWeight, minW)
+	}
+	if res.ClassIndex < 1 || res.ClassIndex > p.InvDelta {
+		t.Errorf("class index %d out of range", res.ClassIndex)
+	}
+}
+
+func TestSparsifyEdgesE0Membership(t *testing.T) {
+	g := denseGraph()
+	res := SparsifyEdges(g, params(), nil)
+	deg := g.Degrees()
+	for _, e := range res.E0 {
+		if !g.HasEdge(e.U, e.V) {
+			t.Fatalf("E0 edge %v not in G", e)
+		}
+		if !inE0(res.B, deg, e) {
+			t.Fatalf("E0 edge %v fails the ∪X(v) membership", e)
+		}
+	}
+	// Every B-node keeps its whole X(v) inside E0.
+	for v := 0; v < g.N(); v++ {
+		if !res.B[v] {
+			continue
+		}
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if deg[u] <= deg[v] {
+				if !inE0(res.B, deg, graph.Edge{U: graph.NodeID(v), V: u}.Canon()) {
+					t.Fatalf("X(%d) edge to %d missing from E0", v, u)
+				}
+			}
+		}
+	}
+}
+
+func TestSparsifyEdgesEStarSubsetAndStages(t *testing.T) {
+	g := denseGraph()
+	res := SparsifyEdges(g, params(), nil)
+	if core.StageCount(res.ClassIndex) == 0 {
+		t.Skip("workload landed in a low class; stage path not exercised")
+	}
+	if len(res.Stages) != core.StageCount(res.ClassIndex) {
+		t.Errorf("ran %d stages, want %d", len(res.Stages), core.StageCount(res.ClassIndex))
+	}
+	if res.UsedFallback {
+		t.Log("fallback used (acceptable at laptop scale)")
+	}
+	// E* ⊆ E0 ⊆ E and items shrink monotonically.
+	e0set := map[graph.Edge]bool{}
+	for _, e := range res.E0 {
+		e0set[e] = true
+	}
+	for _, e := range res.EStar.Edges() {
+		if !res.UsedFallback && !e0set[e] {
+			t.Fatalf("E* edge %v not in E0", e)
+		}
+	}
+	prev := len(res.E0)
+	for _, st := range res.Stages {
+		if st.ItemsBefore != prev {
+			t.Errorf("stage %d starts at %d items, expected %d", st.Stage, st.ItemsBefore, prev)
+		}
+		if st.ItemsAfter > st.ItemsBefore {
+			t.Errorf("stage %d grew the edge set", st.Stage)
+		}
+		prev = st.ItemsAfter
+	}
+}
+
+func TestSparsifyEdgesAllGroupsGood(t *testing.T) {
+	g := denseGraph()
+	res := SparsifyEdges(g, params(), nil)
+	for _, st := range res.Stages {
+		if !st.SeedFound {
+			t.Errorf("stage %d: all-good seed not found (%d/%d good, %d tried)",
+				st.Stage, st.GoodGroups, st.Groups, st.SeedsTried)
+		}
+		if st.GoodGroups != st.Groups {
+			t.Errorf("stage %d: %d/%d groups good under selected seed", st.Stage, st.GoodGroups, st.Groups)
+		}
+	}
+}
+
+func TestSparsifyEdgesInvariantsHold(t *testing.T) {
+	g := denseGraph()
+	res := SparsifyEdges(g, params(), nil)
+	for _, st := range res.Stages {
+		if !st.InvariantI.Ok() {
+			t.Errorf("stage %d %s", st.Stage, st.InvariantI)
+		}
+		// The lower-bound invariant admits binomial-tail outliers at laptop
+		// scale (the paper's union bound over them is asymptotic): tolerate
+		// up to 1% of checked nodes.
+		if allowed := st.InvariantII.Checked/100 + 1; st.InvariantII.Violated > allowed {
+			t.Errorf("stage %d %s (> %d allowed)", st.Stage, st.InvariantII, allowed)
+		}
+	}
+}
+
+func TestSparsifyEdgesMaxDegree(t *testing.T) {
+	g := denseGraph()
+	p := params()
+	res := SparsifyEdges(g, p, nil)
+	if res.UsedFallback {
+		t.Skip("fallback used; degree bound does not apply")
+	}
+	// §3.3 property (i): d_{E*}(v) <= 2n^{4δ}, checked with the slack factor.
+	bound := int(p.Slack) * MaxDegreeBound(g.N(), p.InvDelta)
+	if got := res.EStar.MaxDegree(); got > bound {
+		t.Errorf("max E* degree %d > slack-adjusted bound %d", got, bound)
+	}
+}
+
+func TestSparsifyEdgesLowClassSkipsStages(t *testing.T) {
+	// Grid: Δ = 4, all degrees in class 1..4 ⇒ E* = E0 verbatim.
+	g := gen.Grid2D(40, 40)
+	res := SparsifyEdges(g, params(), nil)
+	if len(res.Stages) != 0 {
+		t.Errorf("low-degree graph ran %d stages", len(res.Stages))
+	}
+	if res.EStar.M() != len(res.E0) {
+		t.Errorf("E* (%d edges) != E0 (%d edges)", res.EStar.M(), len(res.E0))
+	}
+}
+
+func TestSparsifyEdgesDeterministic(t *testing.T) {
+	g := denseGraph()
+	a := SparsifyEdges(g, params(), nil)
+	b := SparsifyEdges(g, params(), nil)
+	if a.ClassIndex != b.ClassIndex || a.BWeight != b.BWeight || a.EStar.M() != b.EStar.M() {
+		t.Fatalf("nondeterministic: %d/%d/%d vs %d/%d/%d",
+			a.ClassIndex, a.BWeight, a.EStar.M(), b.ClassIndex, b.BWeight, b.EStar.M())
+	}
+	ea, eb := a.EStar.Edges(), b.EStar.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestSparsifyEdgesChargesModel(t *testing.T) {
+	g := denseGraph()
+	model := simcost.New(g.N(), g.M(), 0.5)
+	SparsifyEdges(g, params(), model)
+	st := model.Stats()
+	if st.Rounds == 0 {
+		t.Error("no rounds charged")
+	}
+	if st.RoundsByLabel["sparsify.degrees"] == 0 {
+		t.Error("degree computation not charged")
+	}
+	if core.StageCount(5) > 0 && st.SeedBatches == 0 {
+		t.Error("no seed batches charged")
+	}
+}
+
+func TestSparsifyEdgesStarGraph(t *testing.T) {
+	// Star: the centre is the only X∩C_K node; E0 = all edges. The many
+	// stages shrink E0 aggressively; fallback may trigger, but the result
+	// must never be empty.
+	g := gen.Star(2048)
+	res := SparsifyEdges(g, params(), nil)
+	if res.EStar.M() == 0 {
+		t.Error("E* empty on star")
+	}
+	if !res.B[0] {
+		t.Error("star centre not in B")
+	}
+}
+
+func TestSparsifyNodesCorollary16(t *testing.T) {
+	g := denseGraph()
+	p := params()
+	res := SparsifyNodes(g, p, nil)
+	minW := int64(p.Delta() / 2 * float64(g.M()))
+	if res.BWeight < minW {
+		t.Errorf("BWeight = %d < δ|E|/2 = %d", res.BWeight, minW)
+	}
+}
+
+func TestSparsifyNodesQSubsetOfQ0(t *testing.T) {
+	g := denseGraph()
+	res := SparsifyNodes(g, params(), nil)
+	for v := range res.Q {
+		if res.Q[v] && !res.Q0[v] {
+			t.Fatalf("node %d in Q' but not Q0", v)
+		}
+	}
+	if countMask(res.Q) == 0 {
+		t.Error("Q' empty")
+	}
+}
+
+func TestSparsifyNodesStagesShrink(t *testing.T) {
+	g := denseGraph()
+	res := SparsifyNodes(g, params(), nil)
+	prev := countMask(res.Q0)
+	for _, st := range res.Stages {
+		if st.ItemsBefore != prev {
+			t.Errorf("stage %d begins with %d, expected %d", st.Stage, st.ItemsBefore, prev)
+		}
+		if st.ItemsAfter > st.ItemsBefore {
+			t.Errorf("stage %d grew Q", st.Stage)
+		}
+		if !st.SeedFound {
+			t.Errorf("stage %d all-good seed not found (%d/%d)", st.Stage, st.GoodGroups, st.Groups)
+		}
+		prev = st.ItemsAfter
+	}
+}
+
+func TestSparsifyNodesInvariants(t *testing.T) {
+	g := denseGraph()
+	res := SparsifyNodes(g, params(), nil)
+	for _, st := range res.Stages {
+		if !st.InvariantI.Ok() {
+			t.Errorf("stage %d %s", st.Stage, st.InvariantI)
+		}
+		if allowed := st.InvariantII.Checked/100 + 1; st.InvariantII.Violated > allowed {
+			t.Errorf("stage %d %s (> %d allowed)", st.Stage, st.InvariantII, allowed)
+		}
+	}
+}
+
+func TestSparsifyNodesInducedDegreeBound(t *testing.T) {
+	g := denseGraph()
+	p := params()
+	res := SparsifyNodes(g, p, nil)
+	if res.UsedFallback || len(res.Stages) == 0 {
+		t.Skip("stage path not exercised")
+	}
+	bound := int(p.Slack) * MaxDegreeBound(g.N(), p.InvDelta)
+	if got := res.QGraph.MaxDegree(); got > bound {
+		t.Errorf("max Q' induced degree %d > %d", got, bound)
+	}
+}
+
+func TestSparsifyNodesDeterministic(t *testing.T) {
+	g := denseGraph()
+	a := SparsifyNodes(g, params(), nil)
+	b := SparsifyNodes(g, params(), nil)
+	if a.ClassIndex != b.ClassIndex || countMask(a.Q) != countMask(b.Q) {
+		t.Fatal("nondeterministic node sparsification")
+	}
+	for v := range a.Q {
+		if a.Q[v] != b.Q[v] {
+			t.Fatalf("Q' differs at node %d", v)
+		}
+	}
+}
+
+func TestSparsifyNodesLowDegreeGraph(t *testing.T) {
+	g := gen.Grid2D(30, 30)
+	res := SparsifyNodes(g, params(), nil)
+	if len(res.Stages) != 0 {
+		t.Errorf("grid ran %d node stages", len(res.Stages))
+	}
+	for v := range res.Q {
+		if res.Q[v] != res.Q0[v] {
+			t.Fatal("Q' != Q0 despite no stages")
+		}
+	}
+}
+
+func TestSparsifyNodesPowerLaw(t *testing.T) {
+	g := gen.PowerLaw(2048, 2048*8, 2.5, 3)
+	p := params()
+	res := SparsifyNodes(g, p, nil)
+	if res.BWeight <= 0 {
+		t.Error("empty B on power-law graph")
+	}
+	if countMask(res.Q) == 0 {
+		t.Error("empty Q' on power-law graph")
+	}
+}
+
+func TestInvariantCheckObserve(t *testing.T) {
+	var c InvariantCheck
+	c.observe(0.5)
+	c.observe(1.5)
+	c.observe(0.9)
+	if c.Checked != 3 || c.Violated != 1 {
+		t.Errorf("check = %+v", c)
+	}
+	if c.WorstRatio != 1.5 {
+		t.Errorf("worst = %f", c.WorstRatio)
+	}
+	if c.Ok() {
+		t.Error("Ok with a violation")
+	}
+	if c.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func BenchmarkSparsifyEdges(b *testing.B) {
+	g := denseGraph()
+	p := params()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SparsifyEdges(g, p, nil)
+	}
+}
+
+func BenchmarkSparsifyNodes(b *testing.B) {
+	g := denseGraph()
+	p := params()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SparsifyNodes(g, p, nil)
+	}
+}

@@ -1,0 +1,155 @@
+// Package tablefmt renders the experiment tables and figure series: aligned
+// plain-text tables for the terminal (the paper's tables) and CSV for
+// downstream plotting (the paper's figures). Output is deterministic.
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of string cells with optional footnotes.
+type Table struct {
+	ID      string // experiment id, e.g. "T1"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = Cell(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Cell renders a single value: floats with 4 significant decimals, others
+// via fmt.
+func Cell(v interface{}) string {
+	switch x := v.(type) {
+	case float64:
+		return strconv.FormatFloat(x, 'f', 4, 64)
+	case float32:
+		return strconv.FormatFloat(float64(x), 'f', 4, 64)
+	case string:
+		return x
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(c, widths[i]))
+		}
+		return sb.String()
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	total := len(widths)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// CSV writes the table as RFC-4180-ish CSV (cells never contain quotes or
+// commas in this repository; a defensive quote is applied anyway).
+func (t *Table) CSV(w io.Writer) error {
+	write := func(cells []string) error {
+		quoted := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			quoted[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(quoted, ","))
+		return err
+	}
+	if err := write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is a named sequence of (x, y) points — one curve of a figure.
+type Series struct {
+	Name   string
+	Points [][2]float64
+}
+
+// Figure is a set of series sharing axes, rendered as a long-format table
+// (curve, x, y) so it prints and exports uniformly.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Table converts the figure into long-format rows.
+func (f *Figure) Table() *Table {
+	t := &Table{ID: f.ID, Title: f.Title, Columns: []string{"series", f.XLabel, f.YLabel}}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			t.AddRow(s.Name, p[0], p[1])
+		}
+	}
+	return t
+}

@@ -1,0 +1,77 @@
+package tablefmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAddRowAndCell(t *testing.T) {
+	tb := &Table{ID: "T0", Title: "demo", Columns: []string{"a", "b", "c"}}
+	tb.AddRow(1, 2.5, "x")
+	if len(tb.Rows) != 1 {
+		t.Fatal("row not added")
+	}
+	if tb.Rows[0][0] != "1" || tb.Rows[0][1] != "2.5000" || tb.Rows[0][2] != "x" {
+		t.Errorf("cells = %v", tb.Rows[0])
+	}
+}
+
+func TestRenderAligned(t *testing.T) {
+	tb := &Table{ID: "T1", Title: "title", Columns: []string{"col", "verylongheader"}}
+	tb.AddRow("aaaaaaaaaa", 1)
+	tb.Notes = append(tb.Notes, "a note")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "T1 — title") {
+		t.Error("missing title line")
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Error("missing note")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines: %q", out)
+	}
+	// Header and data line must have equal prefix width up to column 2.
+	hdr, data := lines[0], lines[2]
+	if idxH, idxD := strings.Index(hdr, "verylongheader"), strings.Index(data, "1"); idxH != idxD {
+		t.Errorf("columns misaligned: %d vs %d\n%s", idxH, idxD, out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b"}}
+	tb.AddRow("x,y", 3)
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",3\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFigureToTable(t *testing.T) {
+	f := &Figure{
+		ID: "F1", Title: "decay", XLabel: "iter", YLabel: "edges",
+		Series: []Series{
+			{Name: "det", Points: [][2]float64{{1, 100}, {2, 50}}},
+			{Name: "rand", Points: [][2]float64{{1, 90}}},
+		},
+	}
+	tb := f.Table()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "det" || tb.Rows[2][0] != "rand" {
+		t.Errorf("series order wrong: %v", tb.Rows)
+	}
+	if tb.Columns[1] != "iter" || tb.Columns[2] != "edges" {
+		t.Errorf("columns = %v", tb.Columns)
+	}
+}
