@@ -1,0 +1,43 @@
+# Local developer entry points, kept in lockstep with .github/workflows/ci.yml:
+# `make ci` runs exactly what CI runs, so a green local `make ci` means a
+# green pipeline.
+
+GO ?= go
+BENCH_PATTERN ?= .
+BENCH_OUT ?= BENCH_results.json
+
+.PHONY: build test race bench bench-smoke fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+# Fast feedback: full suite without the race detector.
+test:
+	$(GO) test ./...
+
+# What CI runs: the full suite under the race detector. The
+# worker-count-independence tests (parallel_determinism_test.go) only prove
+# the determinism contract when scheduling is adversarial, so -race is the
+# configuration that counts.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# Full benchmark run (minutes); BENCH_PATTERN narrows it.
+bench:
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run '^$$' .
+
+# One iteration per benchmark: compiles and exercises every benchmark body,
+# emits $(BENCH_OUT) via cmd/benchjson. CI archives the JSON as an artifact.
+bench-smoke:
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt-check race bench-smoke

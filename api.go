@@ -75,8 +75,17 @@ type Options struct {
 	// then has a nil CostReport). Tracking is on by default; its overhead
 	// is negligible.
 	SkipCostTracking bool
-	// Serial disables host-parallel seed evaluation (results are identical
-	// either way; only wall-clock time changes).
+	// Parallelism is the host-side worker count for the shared execution
+	// pool (internal/parallel): seed-search batches, per-vertex scans, and
+	// graph rebuilds all shard across it. 0 (the default) means one worker
+	// per logical CPU (GOMAXPROCS); 1 forces serial execution; larger
+	// values pin an explicit worker count. Results are bit-identical at
+	// every setting — the determinism contract, enforced by the
+	// worker-count-independence tests run under -race in CI — so this knob
+	// trades only wall-clock time, never output.
+	Parallelism int
+	// Serial disables host parallelism entirely; it is a legacy alias for
+	// Parallelism: 1 and takes precedence over Parallelism when set.
 	Serial bool
 }
 
@@ -94,7 +103,10 @@ func (o *Options) params() core.Params {
 	if o.ThresholdFrac != 0 {
 		p.ThresholdFrac = o.ThresholdFrac
 	}
-	p.Parallel = !o.Serial
+	p.Parallelism = o.Parallelism
+	if o.Serial {
+		p.Parallelism = 1
+	}
 	return p
 }
 

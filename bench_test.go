@@ -198,6 +198,138 @@ func BenchmarkAblations_SlackSweep(b *testing.B) {
 	}
 }
 
+// The *Serial / *Parallel benchmark pairs below time identical computations
+// with the shared execution pool (internal/parallel) pinned to one worker vs
+// one worker per logical CPU. Outputs are bit-identical by the determinism
+// contract, so any delta is pure wall-clock speedup; CI's benchmark smoke
+// job records both sides as a JSON artifact (cmd/benchjson).
+
+// BenchmarkMatchingDeterministicSerial times the Theorem 7 pipeline with the
+// pool pinned to a single worker.
+func BenchmarkMatchingDeterministicSerial(b *testing.B) {
+	benchMatchingDeterministic(b, 1)
+}
+
+// BenchmarkMatchingDeterministicParallel is the same pipeline with one
+// worker per logical CPU (Parallelism = 0, auto).
+func BenchmarkMatchingDeterministicParallel(b *testing.B) {
+	benchMatchingDeterministic(b, 0)
+}
+
+func benchMatchingDeterministic(b *testing.B, parallelism int) {
+	g := gen.GNM(1<<12, 8<<12, 1)
+	p := core.DefaultParams()
+	p.Parallelism = parallelism
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matching.Deterministic(g, p, nil)
+	}
+}
+
+// BenchmarkMISDeterministicSerial times the Theorem 14 pipeline with the
+// pool pinned to a single worker.
+func BenchmarkMISDeterministicSerial(b *testing.B) { benchMISDeterministic(b, 1) }
+
+// BenchmarkMISDeterministicParallel is the same pipeline at GOMAXPROCS
+// workers.
+func BenchmarkMISDeterministicParallel(b *testing.B) { benchMISDeterministic(b, 0) }
+
+func benchMISDeterministic(b *testing.B, parallelism int) {
+	g := gen.GNM(1<<12, 8<<12, 1)
+	p := core.DefaultParams()
+	p.Parallelism = parallelism
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mis.Deterministic(g, p, nil)
+	}
+}
+
+// BenchmarkSparsifySeedSearchSerial times the Section 3.2 edge
+// sparsification — dominated by the condexp seed search — on one worker.
+func BenchmarkSparsifySeedSearchSerial(b *testing.B) { benchSparsifySeedSearch(b, 1) }
+
+// BenchmarkSparsifySeedSearchParallel is the same search with candidate
+// seeds evaluated across the pool.
+func BenchmarkSparsifySeedSearchParallel(b *testing.B) { benchSparsifySeedSearch(b, 0) }
+
+func benchSparsifySeedSearch(b *testing.B, parallelism int) {
+	g := gen.GNM(1<<12, 16<<12, 1)
+	p := core.DefaultParams()
+	p.Parallelism = parallelism
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparsify.SparsifyEdges(g, p, nil)
+	}
+}
+
+// BenchmarkWithoutNodesSerial times the CSR node-removal filter (the inner
+// rebuild of every Luby-style iteration) on one worker.
+func BenchmarkWithoutNodesSerial(b *testing.B) { benchWithoutNodes(b, 1) }
+
+// BenchmarkWithoutNodesParallel shards the same rebuild over the pool.
+func BenchmarkWithoutNodesParallel(b *testing.B) { benchWithoutNodes(b, 0) }
+
+func benchWithoutNodes(b *testing.B, workers int) {
+	g := gen.GNM(1<<16, 1<<19, 1)
+	remove := make([]bool, g.N())
+	for v := range remove {
+		remove[v] = v%3 == 0
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.WithoutNodesW(remove, workers)
+	}
+}
+
+// BenchmarkLubyMISSerial times the randomized baseline's sharded candidate
+// evaluation on one worker.
+func BenchmarkLubyMISSerial(b *testing.B) { benchLubyMIS(b, 1) }
+
+// BenchmarkLubyMISParallel is the same baseline across the pool.
+func BenchmarkLubyMISParallel(b *testing.B) { benchLubyMIS(b, 0) }
+
+func benchLubyMIS(b *testing.B, workers int) {
+	g := gen.GNM(1<<14, 1<<17, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		luby.MISW(g, detrand.New(1), workers)
+	}
+}
+
+// BenchmarkMPCRoundFanoutSerial times the message-level simulator's
+// machine-step fan-out (sample sort + prefix sums) on one worker.
+func BenchmarkMPCRoundFanoutSerial(b *testing.B) { benchMPCRoundFanout(b, 1) }
+
+// BenchmarkMPCRoundFanoutParallel runs machine steps across the pool.
+func BenchmarkMPCRoundFanoutParallel(b *testing.B) { benchMPCRoundFanout(b, 0) }
+
+func benchMPCRoundFanout(b *testing.B, workers int) {
+	r := detrand.New(1)
+	data := make([]uint64, 1<<14)
+	for i := range data {
+		data[i] = r.Uint64() % 1_000_000
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := mpc.NewCluster(mpc.Config{Machines: 32, Space: 1 << 11, Workers: workers})
+		if err := c.LoadBalanced(data); err != nil {
+			b.Fatal(err)
+		}
+		if err := mpc.Sort(c); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mpc.PrefixSum(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPublicAPI_MIS times the façade end to end (what a downstream
 // user calls).
 func BenchmarkPublicAPI_MIS(b *testing.B) {

@@ -1,0 +1,167 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// array, one object per benchmark result, so CI can archive benchmark runs
+// as machine-readable artifacts (BENCH_*.json style) and diff them across
+// commits.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x ./... | go run ./cmd/benchjson -o bench.json
+//	go run ./cmd/benchjson < bench.txt           # JSON to stdout
+//
+// The parser understands the standard benchmark line format
+//
+//	BenchmarkName-8   	     100	  11222333 ns/op	  4455 B/op	   66 allocs/op
+//
+// including custom metrics (`go test -bench` emits `<value> <unit>` pairs).
+// Non-benchmark lines (pass/fail summaries, package headers) are skipped;
+// `ok`/`FAIL` package trailers are tallied so a failing bench run still
+// yields a non-zero exit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -P GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op metric when present.
+	NsPerOp float64 `json:"ns_per_op,omitempty"`
+	// BytesPerOp is the B/op metric when present (-benchmem / ReportAllocs).
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	// AllocsPerOp is the allocs/op metric when present.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds any remaining unit → value pairs (custom b.ReportMetric
+	// units, MB/s, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	var (
+		out    = flag.String("o", "", "output file (default stdout)")
+		indent = flag.Bool("indent", true, "pretty-print the JSON")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+
+	results, failed, err := parse(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	if *indent {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(results); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+	}
+	if failed > 0 {
+		log.Fatalf("%d package(s) reported FAIL", failed)
+	}
+}
+
+// parse scans `go test -bench` output and returns the benchmark results plus
+// the number of FAIL package trailers seen.
+func parse(r io.Reader) ([]Result, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	results := []Result{}
+	failed := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseLine(line); ok {
+				results = append(results, res)
+			}
+		case strings.HasPrefix(line, "FAIL\t"):
+			// Count only the per-package trailer ("FAIL\t<pkg>\t<time>");
+			// the bare "FAIL" line go test prints above it would double-
+			// count the same package.
+			failed++
+		}
+	}
+	return results, failed, sc.Err()
+}
+
+// parseLine parses one benchmark result line; ok is false for lines that
+// merely start with "Benchmark" without being results (e.g. a name echoed
+// by -v with no fields after it).
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	name, procs := splitProcs(fields[0])
+	res := Result{Name: name, Procs: procs, Iterations: iters}
+	// Remaining fields come in "<value> <unit>" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return res, true
+}
+
+// splitProcs splits "BenchmarkFoo-8" into ("BenchmarkFoo", 8); names without
+// a numeric suffix report procs = 1.
+func splitProcs(s string) (string, int) {
+	i := strings.LastIndex(s, "-")
+	if i < 0 {
+		return s, 1
+	}
+	p, err := strconv.Atoi(s[i+1:])
+	if err != nil || p <= 0 {
+		return s, 1
+	}
+	return s[:i], p
+}

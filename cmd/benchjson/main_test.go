@@ -1,0 +1,61 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Example CPU
+BenchmarkMatchingDeterministicSerial-8   	       3	 410123456 ns/op	20123456 B/op	  123456 allocs/op
+BenchmarkMatchingDeterministicParallel-8 	      10	 110123456 ns/op	21123456 B/op	  123999 allocs/op
+BenchmarkCustomMetric-4                  	     100	    991122 ns/op	        17.5 rounds/op
+BenchmarkNoSuffix                        	       1	      1000 ns/op
+PASS
+ok  	repro	12.345s
+`
+	results, failed, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("failed = %d, want 0", failed)
+	}
+	want := []Result{
+		{Name: "BenchmarkMatchingDeterministicSerial", Procs: 8, Iterations: 3, NsPerOp: 410123456, BytesPerOp: 20123456, AllocsPerOp: 123456},
+		{Name: "BenchmarkMatchingDeterministicParallel", Procs: 8, Iterations: 10, NsPerOp: 110123456, BytesPerOp: 21123456, AllocsPerOp: 123999},
+		{Name: "BenchmarkCustomMetric", Procs: 4, Iterations: 100, NsPerOp: 991122, Metrics: map[string]float64{"rounds/op": 17.5}},
+		{Name: "BenchmarkNoSuffix", Procs: 1, Iterations: 1, NsPerOp: 1000},
+	}
+	if !reflect.DeepEqual(results, want) {
+		t.Fatalf("parse mismatch:\n got %+v\nwant %+v", results, want)
+	}
+}
+
+func TestParseCountsFailures(t *testing.T) {
+	// The bare "FAIL" line and the "FAIL\t<pkg>" trailer belong to the same
+	// failing package; only the trailer is counted.
+	input := "BenchmarkX-2 5 100 ns/op\nFAIL\nFAIL\trepro/internal/foo\t0.1s\nFAIL\trepro/internal/bar\t0.2s\n"
+	results, failed, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || failed != 2 {
+		t.Fatalf("got %d results, %d failures; want 1, 2", len(results), failed)
+	}
+}
+
+func TestParseSkipsNonResultBenchmarkLines(t *testing.T) {
+	input := "BenchmarkVerbose\nBenchmarkBad notanumber ns/op\n"
+	results, _, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("got %d results, want 0", len(results))
+	}
+}

@@ -27,6 +27,7 @@ func main() {
 		eps      = flag.Float64("eps", 0.5, "space exponent ε (S = n^ε)")
 		strategy = flag.String("strategy", "auto", "auto | sparsify | lowdeg")
 		seed     = flag.Uint64("seed", 1, "workload generator seed")
+		par      = flag.Int("par", 0, "host workers (0 = one per CPU, 1 = serial); results are identical at any setting")
 		verbose  = flag.Bool("v", false, "print the independent set")
 	)
 	flag.Parse()
@@ -49,7 +50,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := &repro.Options{Epsilon: *eps, Strategy: repro.Strategy(*strategy)}
+	opts := &repro.Options{Epsilon: *eps, Strategy: repro.Strategy(*strategy), Parallelism: *par}
 	res, err := repro.MaximalIndependentSet(g, opts)
 	if err != nil {
 		log.Fatal(err)

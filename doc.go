@@ -31,7 +31,28 @@
 // the method of conditional expectations (internal/condexp), the
 // deterministic edge/node sparsification (internal/sparsify), Linial
 // colouring of G² (internal/coloring), the CONGESTED CLIQUE layer
-// (internal/cclique), randomized baselines (internal/luby) and the
-// experiment suite reproducing every claim (internal/experiments, see
-// DESIGN.md and EXPERIMENTS.md).
+// (internal/cclique), randomized baselines (internal/luby), the shared
+// host-parallel execution pool (internal/parallel) and the experiment suite
+// reproducing every claim (internal/experiments, see DESIGN.md and
+// EXPERIMENTS.md).
+//
+// # Parallel execution
+//
+// The hot paths — candidate-seed batches in the conditional-expectations
+// searches, per-vertex objective and goodness scans, CSR graph rebuilds, and
+// the simulator's machine-step fan-out — all execute on a shared bounded
+// worker pool (internal/parallel) sized by Options.Parallelism: 0 (default)
+// means one worker per logical CPU, 1 forces serial execution, larger values
+// pin an explicit count. The legacy Options.Serial flag is an alias for
+// Parallelism: 1.
+//
+// The determinism contract: every result is bit-identical at every
+// Parallelism setting. The pool guarantees it structurally — work is split
+// into contiguous shards whose boundaries depend only on the problem size,
+// shard bodies write disjoint state, and reductions fold per-shard partials
+// in shard order — so parallelism trades wall-clock time only, never output.
+// CI enforces the contract by running worker-count-independence tests
+// (outputs compared across Parallelism 1, 2 and 8 on several graph
+// families) under the race detector; see parallel_determinism_test.go and
+// .github/workflows/ci.yml.
 package repro

@@ -23,10 +23,9 @@ package condexp
 
 import (
 	"errors"
-	"runtime"
-	"sync"
 
 	"repro/internal/hashfam"
+	"repro/internal/parallel"
 	"repro/internal/simcost"
 )
 
@@ -50,10 +49,13 @@ type Options struct {
 	Model *simcost.Model
 	// Label attributes charged rounds. Defaults to "condexp".
 	Label string
-	// Parallel enables host-parallel evaluation within a batch. The result
-	// is identical either way (the first qualifying seed in enumeration
-	// order is selected); only wall-clock time changes.
-	Parallel bool
+	// Workers is the number of host workers evaluating candidate seeds
+	// within a batch on the shared internal/parallel pool, following the
+	// repo-wide convention of parallel.Workers: 0 (default) means one
+	// worker per logical CPU, 1 forces serial evaluation. The result is
+	// bit-identical at any worker count (the first qualifying seed in
+	// enumeration order is selected); only wall-clock time changes.
+	Workers int
 }
 
 // DefaultMaxSeeds bounds seed scans when Options.MaxSeeds is 0. The theory
@@ -117,7 +119,7 @@ func SearchAtLeast(fam hashfam.Family, obj Objective, threshold int64, opts Opti
 			opts.Model.ChargeSeedBatch(len(batch), opts.Label)
 		}
 		best.Batches++
-		evalBatch(batch, values[:len(batch)], obj, opts.Parallel)
+		evalBatch(batch, values[:len(batch)], obj, opts.Workers)
 		for i, seed := range batch {
 			v := values[i]
 			if v > best.Value {
@@ -178,37 +180,19 @@ func SearchBest(fam hashfam.Family, obj Objective, maxSeeds int, opts Options) (
 	return res, nil
 }
 
-func evalBatch(batch [][]uint64, out []int64, obj Objective, parallel bool) {
-	if !parallel || len(batch) < 4 {
+// evalBatch fills out[i] = obj(batch[i]) using up to `workers` goroutines of
+// the shared pool (0 = auto, per parallel.Workers). Each candidate writes
+// only its own slot, so the batch result is identical at any worker count.
+func evalBatch(batch [][]uint64, out []int64, obj Objective, workers int) {
+	if w := parallel.Workers(workers); w <= 1 || len(batch) < 4 {
 		for i, seed := range batch {
 			out[i] = obj(seed)
 		}
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(batch) {
-		workers = len(batch)
-	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(batch) {
-					return
-				}
-				out[i] = obj(batch[i])
-			}
-		}()
-	}
-	wg.Wait()
+	parallel.ForEach(workers, len(batch), func(i int) {
+		out[i] = obj(batch[i])
+	})
 }
 
 // SearchConditional runs the textbook method of conditional expectations:

@@ -52,14 +52,14 @@ func TestSearchAtLeastDeterministic(t *testing.T) {
 	fam := hashfam.New(211, 2)
 	points := testPoints(64, fam.P())
 	obj := countBelow(fam, points, hashfam.Threshold(fam.P(), 1, 3))
-	run := func(parallel bool) Result {
-		res, err := SearchAtLeast(fam, obj, 20, Options{Parallel: parallel, BatchSize: 16})
+	run := func(workers int) Result {
+		res, err := SearchAtLeast(fam, obj, 20, Options{Workers: workers, BatchSize: 16})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res
 	}
-	a, b, c := run(false), run(false), run(true)
+	a, b, c := run(1), run(1), run(8)
 	if a.Value != b.Value || a.Value != c.Value {
 		t.Fatalf("values differ: %d %d %d", a.Value, b.Value, c.Value)
 	}
@@ -233,7 +233,7 @@ func BenchmarkSearchAtLeast(b *testing.B) {
 	points := testPoints(1000, fam.P())
 	obj := countBelow(fam, points, hashfam.Threshold(fam.P(), 1, 2))
 	for i := 0; i < b.N; i++ {
-		if _, err := SearchAtLeast(fam, obj, 480, Options{BatchSize: 64, Parallel: true}); err != nil {
+		if _, err := SearchAtLeast(fam, obj, 480, Options{BatchSize: 64, Workers: 8}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hashfam"
 	"repro/internal/intmath"
+	"repro/internal/parallel"
 )
 
 // Params are the knobs of the deterministic algorithms. The zero value is
@@ -39,9 +40,16 @@ type Params struct {
 	// best seed seen is used (progress is then whatever that seed achieves,
 	// so the algorithms remain unconditionally correct).
 	MaxSeedsPerSearch int
-	// Parallel enables host-side parallel seed evaluation.
-	Parallel bool
+	// Parallelism is the host-side worker count used by the shared
+	// internal/parallel pool for seed evaluation, per-vertex scans, and
+	// graph rebuilds: 0 (default) means GOMAXPROCS, 1 means serial, larger
+	// values pin an explicit worker count. Results are bit-identical at any
+	// setting (the determinism contract; see internal/parallel).
+	Parallelism int
 }
+
+// Workers resolves Parallelism to a concrete worker count.
+func (p Params) Workers() int { return parallel.Workers(p.Parallelism) }
 
 // DefaultParams returns the parameterisation used throughout the experiment
 // suite: ε = 0.5 (S = √n), δ = 1/16, 4-wise independence, slack 4,
@@ -54,7 +62,7 @@ func DefaultParams() Params {
 		Slack:             4.0,
 		ThresholdFrac:     0.5,
 		MaxSeedsPerSearch: 1 << 14,
-		Parallel:          true,
+		Parallelism:       0, // auto: GOMAXPROCS workers
 	}
 }
 
@@ -183,13 +191,19 @@ func (c *DegreeClasses) DevTerm(ex int) float64 {
 
 // ComputeX returns the good-node indicator of Luby's matching analysis
 // (Lemma 3): v ∈ X iff at least d(v)/3 neighbours u have d(u) <= d(v).
-// deg must be the degree slice of g.
-func ComputeX(g *graph.Graph, deg []int) []bool {
+// deg must be the degree slice of g. It runs at the pool's automatic worker
+// count (one per CPU); use ComputeXW to pin one.
+func ComputeX(g *graph.Graph, deg []int) []bool { return ComputeXW(g, deg, 0) }
+
+// ComputeXW is ComputeX sharded over vertex ranges on up to `workers` host
+// workers; each vertex's indicator is independent, so the result is
+// identical at any worker count.
+func ComputeXW(g *graph.Graph, deg []int, workers int) []bool {
 	x := make([]bool, g.N())
-	for v := 0; v < g.N(); v++ {
+	parallel.ForEach(workers, g.N(), func(v int) {
 		dv := deg[v]
 		if dv == 0 {
-			continue
+			return
 		}
 		cnt := 0
 		for _, u := range g.Neighbors(graph.NodeID(v)) {
@@ -198,7 +212,7 @@ func ComputeX(g *graph.Graph, deg []int) []bool {
 			}
 		}
 		x[v] = 3*cnt >= dv
-	}
+	})
 	return x
 }
 
@@ -215,19 +229,26 @@ func XWeight(x []bool, deg []int) int64 {
 }
 
 // ComputeA returns the MIS good-node indicator (Corollary 15): v ∈ A iff
-// Σ_{u∼v} 1/d(u) >= 1/3.
-func ComputeA(g *graph.Graph, deg []int) []bool {
+// Σ_{u∼v} 1/d(u) >= 1/3. It runs at the pool's automatic worker count; use
+// ComputeAW to pin one.
+func ComputeA(g *graph.Graph, deg []int) []bool { return ComputeAW(g, deg, 0) }
+
+// ComputeAW is ComputeA sharded over vertex ranges on up to `workers` host
+// workers. Each vertex's reciprocal-degree sum is accumulated left-to-right
+// over its own (fixed) neighbour list, so the floating-point result is
+// bit-identical at any worker count.
+func ComputeAW(g *graph.Graph, deg []int, workers int) []bool {
 	a := make([]bool, g.N())
-	for v := 0; v < g.N(); v++ {
+	parallel.ForEach(workers, g.N(), func(v int) {
 		if deg[v] == 0 {
-			continue
+			return
 		}
 		var sum float64
 		for _, u := range g.Neighbors(graph.NodeID(v)) {
 			sum += 1 / float64(deg[u])
 		}
 		a[v] = sum >= 1.0/3-1e-12
-	}
+	})
 	return a
 }
 

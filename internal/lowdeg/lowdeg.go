@@ -33,6 +33,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hashfam"
 	"repro/internal/intmath"
+	"repro/internal/parallel"
 	"repro/internal/simcost"
 )
 
@@ -128,7 +129,7 @@ func MIS(g *graph.Graph, p core.Params, model *simcost.Model) *Result {
 	ell := Ell(maxDeg, budget)
 	res.Ell = ell
 	res.Radius = 2 * ell
-	res.MaxBallWords = maxBallWords(g, res.Radius)
+	res.MaxBallWords = maxBallWords(g, res.Radius, p.Workers())
 	model.AssertMachineWords(res.MaxBallWords, "lowdeg.rball")
 	ballRounds := intmath.CeilLog2(uint64(res.Radius)) + 1
 	model.ChargeRounds(ballRounds, "lowdeg.collect")
@@ -185,7 +186,7 @@ func MIS(g *graph.Graph, p core.Params, model *simcost.Model) *Result {
 				Model:    model,
 				Label:    "lowdeg.seed",
 				MaxSeeds: p.MaxSeedsPerSearch,
-				Parallel: p.Parallel,
+				Workers:  p.Workers(),
 			})
 			if err != nil {
 				panic(err)
@@ -210,7 +211,7 @@ func MIS(g *graph.Graph, p core.Params, model *simcost.Model) *Result {
 					}
 				}
 			}
-			cur = cur.WithoutNodes(remove)
+			cur = cur.WithoutNodesW(remove, p.Workers())
 			st.EdgesAfter = cur.M()
 			st.RemovedFraction = float64(st.EdgesBefore-st.EdgesAfter) / float64(st.EdgesBefore)
 			res.Phases = append(res.Phases, st)
@@ -255,20 +256,23 @@ func MaximalMatching(g *graph.Graph, p core.Params, model *simcost.Model) *Match
 }
 
 // maxBallWords returns the largest r-hop ball size in words (2 per edge
-// endpoint entry), the quantity a machine must hold after collection.
-func maxBallWords(g *graph.Graph, r int) int {
-	max := 0
-	for v := 0; v < g.N(); v++ {
-		ball := g.Ball(graph.NodeID(v), r)
-		words := 0
-		for _, u := range ball {
-			words += 1 + g.Degree(u)
+// endpoint entry), the quantity a machine must hold after collection. Each
+// ball enumeration is independent, so the scan map-reduces over vertex
+// shards (this is the dominant preprocessing cost of the Section 5 path).
+func maxBallWords(g *graph.Graph, r, workers int) int {
+	return parallel.MaxInt(workers, g.N(), func(lo, hi int) int {
+		max := 0
+		for v := lo; v < hi; v++ {
+			words := 0
+			for _, u := range g.Ball(graph.NodeID(v), r) {
+				words += 1 + g.Degree(u)
+			}
+			if words > max {
+				max = words
+			}
 		}
-		if words > max {
-			max = words
-		}
-	}
-	return max
+		return max
+	})
 }
 
 // removedEdges counts edges incident to ih ∪ N(ih) in cur.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/detrand"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 // RoundStats records one randomized round.
@@ -30,7 +31,14 @@ type MISResult struct {
 // z value and joins the independent set iff its value is strictly smaller
 // (ties by id) than all surviving neighbours'; the set and its neighbourhood
 // leave the graph. Terminates when no edges remain; isolated nodes join.
-func MIS(g *graph.Graph, src *detrand.Source) *MISResult {
+func MIS(g *graph.Graph, src *detrand.Source) *MISResult { return MISW(g, src, 0) }
+
+// MISW is MIS with the per-vertex candidate evaluation sharded over up to
+// `workers` host workers (0 = GOMAXPROCS, 1 = serial). The z draws stay
+// serial in id order (they consume the deterministic source) and each
+// vertex's local-minimum test reads only the immutable round state (z and
+// the current graph), so the output is identical at any worker count.
+func MISW(g *graph.Graph, src *detrand.Source, workers int) *MISResult {
 	n := g.N()
 	res := &MISResult{}
 	cur := g
@@ -39,6 +47,7 @@ func MIS(g *graph.Graph, src *detrand.Source) *MISResult {
 		alive[v] = true
 	}
 	inMIS := make([]bool, n)
+	sel := make([]bool, n)
 
 	for round := 1; ; round++ {
 		for v := 0; v < n; v++ {
@@ -57,19 +66,21 @@ func MIS(g *graph.Graph, src *detrand.Source) *MISResult {
 				z[v] = src.Uint64()
 			}
 		}
-		remove := make([]bool, n)
-		for v := 0; v < n; v++ {
+		parallel.ForEach(workers, n, func(v int) {
+			sel[v] = false
 			if !alive[v] || cur.Degree(graph.NodeID(v)) == 0 {
-				continue
+				return
 			}
-			isMin := true
 			for _, u := range cur.Neighbors(graph.NodeID(v)) {
 				if z[u] < z[v] || (z[u] == z[v] && u < graph.NodeID(v)) {
-					isMin = false
-					break
+					return
 				}
 			}
-			if isMin {
+			sel[v] = true
+		})
+		remove := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if sel[v] {
 				inMIS[v] = true
 				alive[v] = false
 				remove[v] = true
@@ -87,7 +98,7 @@ func MIS(g *graph.Graph, src *detrand.Source) *MISResult {
 				}
 			}
 		}
-		cur = cur.WithoutNodes(remove)
+		cur = cur.WithoutNodesW(remove, workers)
 		st.EdgesAfter = cur.M()
 		res.Rounds = append(res.Rounds, st)
 	}
@@ -109,6 +120,15 @@ type MatchingResult struct {
 // edge draws a random value; local-minimum edges join the matching and their
 // endpoints leave the graph.
 func MaximalMatching(g *graph.Graph, src *detrand.Source) *MatchingResult {
+	return MaximalMatchingW(g, src, 0)
+}
+
+// MaximalMatchingW is MaximalMatching with the per-edge local-minimum test
+// sharded over up to `workers` host workers (0 = GOMAXPROCS, 1 = serial).
+// The z draws stay serial in canonical edge order; each edge's test reads
+// only the round's immutable z table, and winners are collected in edge
+// order, so the output is identical at any worker count.
+func MaximalMatchingW(g *graph.Graph, src *detrand.Source, workers int) *MatchingResult {
 	res := &MatchingResult{}
 	cur := g
 	n := g.N()
@@ -119,10 +139,9 @@ func MaximalMatching(g *graph.Graph, src *detrand.Source) *MatchingResult {
 		for _, e := range edges {
 			z[e] = src.Uint64()
 		}
-		matched := make([]bool, n)
-		var picked []graph.Edge
-		for _, e := range edges {
-			isMin := true
+		isMin := make([]bool, len(edges))
+		parallel.ForEach(workers, len(edges), func(idx int) {
+			e := edges[idx]
 			ze := z[e]
 			for _, end := range [2]graph.NodeID{e.U, e.V} {
 				for _, u := range cur.Neighbors(end) {
@@ -132,15 +151,16 @@ func MaximalMatching(g *graph.Graph, src *detrand.Source) *MatchingResult {
 					}
 					zo := z[other]
 					if zo < ze || (zo == ze && other.Key(n) < e.Key(n)) {
-						isMin = false
-						break
+						return
 					}
 				}
-				if !isMin {
-					break
-				}
 			}
-			if isMin {
+			isMin[idx] = true
+		})
+		matched := make([]bool, n)
+		var picked []graph.Edge
+		for idx, e := range edges {
+			if isMin[idx] {
 				picked = append(picked, e)
 			}
 		}
@@ -150,7 +170,7 @@ func MaximalMatching(g *graph.Graph, src *detrand.Source) *MatchingResult {
 		}
 		st.Selected = len(picked)
 		res.Matching = append(res.Matching, picked...)
-		cur = cur.WithoutNodes(matched)
+		cur = cur.WithoutNodesW(matched, workers)
 		st.EdgesAfter = cur.M()
 		res.Rounds = append(res.Rounds, st)
 	}

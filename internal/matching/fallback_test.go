@@ -14,8 +14,8 @@ import (
 func TestUnreachableThresholdStillMaximal(t *testing.T) {
 	g := gen.GNM(400, 1600, 3)
 	p := params()
-	p.ThresholdFrac = 1.0     // demand the full Lemma 13 bound...
-	p.MaxSeedsPerSearch = 2   // ...with almost no budget to find it
+	p.ThresholdFrac = 1.0   // demand the full Lemma 13 bound...
+	p.MaxSeedsPerSearch = 2 // ...with almost no budget to find it
 	res := Deterministic(g, p, nil)
 	if ok, reason := check.IsMaximalMatching(g, res.Matching); !ok {
 		t.Fatal(reason)

@@ -26,6 +26,7 @@ import (
 	"repro/internal/condexp"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/simcost"
 	"repro/internal/sparsify"
 )
@@ -83,7 +84,7 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 
 		// Collect 2-hop neighbourhoods in E* for the B-nodes: machine x_v
 		// holds v's incident E*-edges and their incident E*-edges.
-		st.MaxBallWords = maxTwoHopWords(estar, sp.B)
+		st.MaxBallWords = maxTwoHopWords(estar, sp.B, p.Workers())
 		model.AssertMachineWords(st.MaxBallWords, "mm.2hop")
 		model.ChargeRounds(2, "mm.collect") // sort + request round (§2.2)
 
@@ -117,7 +118,7 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 			Model:    model,
 			Label:    "mm.seed",
 			MaxSeeds: p.MaxSeedsPerSearch,
-			Parallel: p.Parallel,
+			Workers:  p.Workers(),
 		})
 		if err != nil {
 			panic(err) // family is never empty
@@ -140,7 +141,7 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 			matched[e.U] = true
 			matched[e.V] = true
 		}
-		cur = cur.WithoutNodes(matched)
+		cur = cur.WithoutNodesW(matched, p.Workers())
 		model.ChargeScan("mm.apply")
 
 		st.EdgesAfter = cur.M()
@@ -152,22 +153,25 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 
 // maxTwoHopWords returns the largest number of words a machine holds when
 // the 2-hop E*-neighbourhood of a B-node is collected: the node's incident
-// edges plus its neighbours' incident edges (2 words per edge).
-func maxTwoHopWords(estar *graph.Graph, b []bool) int {
-	max := 0
-	for v := 0; v < estar.N(); v++ {
-		if !b[v] {
-			continue
+// edges plus its neighbours' incident edges (2 words per edge). The per-node
+// measurements are independent, so the scan map-reduces over vertex shards.
+func maxTwoHopWords(estar *graph.Graph, b []bool, workers int) int {
+	return parallel.MaxInt(workers, estar.N(), func(lo, hi int) int {
+		max := 0
+		for v := lo; v < hi; v++ {
+			if !b[v] {
+				continue
+			}
+			words := 2 * estar.Degree(graph.NodeID(v))
+			for _, u := range estar.Neighbors(graph.NodeID(v)) {
+				words += 2 * estar.Degree(u)
+			}
+			if words > max {
+				max = words
+			}
 		}
-		words := 2 * estar.Degree(graph.NodeID(v))
-		for _, u := range estar.Neighbors(graph.NodeID(v)) {
-			words += 2 * estar.Degree(u)
-		}
-		if words > max {
-			max = words
-		}
-	}
-	return max
+		return max
+	})
 }
 
 // smallestEdge returns the canonical minimum-key edge of a non-empty graph.

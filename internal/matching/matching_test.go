@@ -114,7 +114,7 @@ func TestDeterministicIsDeterministic(t *testing.T) {
 	}
 	// Parallel seed evaluation must not change the result.
 	pp := params()
-	pp.Parallel = false
+	pp.Parallelism = 1
 	c := Deterministic(g, pp, nil)
 	if len(a.Matching) != len(c.Matching) {
 		t.Fatal("parallel vs serial results differ")

@@ -172,7 +172,7 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 			Model:    model,
 			Label:    "mis.seed",
 			MaxSeeds: p.MaxSeedsPerSearch,
-			Parallel: p.Parallel,
+			Workers:  p.Workers(),
 		})
 		if err != nil {
 			panic(err)
@@ -200,7 +200,7 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 				}
 			}
 		}
-		cur = cur.WithoutNodes(remove)
+		cur = cur.WithoutNodesW(remove, p.Workers())
 		model.ChargeScan("mis.apply")
 
 		st.EdgesAfter = cur.M()

@@ -107,7 +107,7 @@ func TestDeterministicIsDeterministic(t *testing.T) {
 		}
 	}
 	pp := params()
-	pp.Parallel = false
+	pp.Parallelism = 1
 	c := Deterministic(g, pp, nil)
 	if len(a.IndependentSet) != len(c.IndependentSet) {
 		t.Fatal("parallel vs serial results differ")

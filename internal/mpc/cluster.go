@@ -21,9 +21,9 @@ package mpc
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
+
+	"repro/internal/parallel"
 )
 
 // Config describes a cluster.
@@ -35,6 +35,12 @@ type Config struct {
 	// continues (useful for ablation experiments that demonstrate a
 	// violation would occur).
 	Strict bool
+	// Workers bounds the host goroutines that execute machine steps each
+	// round (the shared internal/parallel pool): 0 means GOMAXPROCS,
+	// 1 serial. Simulated semantics are identical at any setting — machine
+	// steps are pure functions of (store, inbox) and message delivery is
+	// ordered by sender id — so this only trades wall-clock time.
+	Workers int
 }
 
 // Stats accumulates execution metrics across rounds.
@@ -117,7 +123,7 @@ func NewCluster(cfg Config) *Cluster {
 		cfg:     cfg,
 		stores:  make([][]uint64, cfg.Machines),
 		inboxes: make([][][]uint64, cfg.Machines),
-		workers: runtime.GOMAXPROCS(0),
+		workers: parallel.Workers(cfg.Workers),
 	}
 }
 
@@ -154,20 +160,14 @@ func wordsOf(msgs [][]uint64) int {
 func (c *Cluster) Round(label string, step StepFunc) error {
 	m := c.cfg.Machines
 	ctxs := make([]*MachineCtx, m)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, c.workers)
-	for id := 0; id < m; id++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(id int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			ctx := &MachineCtx{ID: id, Inbox: c.inboxes[id], store: c.stores[id]}
-			step(ctx)
-			ctxs[id] = ctx
-		}(id)
-	}
-	wg.Wait()
+	// Machine steps fan out over the bounded shared pool; each machine
+	// writes only its own ctx slot, and the collection pass below runs in
+	// deterministic machine order, so host scheduling is unobservable.
+	parallel.ForEach(c.workers, m, func(id int) {
+		ctx := &MachineCtx{ID: id, Inbox: c.inboxes[id], store: c.stores[id]}
+		step(ctx)
+		ctxs[id] = ctx
+	})
 
 	// Collect outboxes and validate space in deterministic machine order.
 	newInboxes := make([][][]uint64, m)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/condexp"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/simcost"
 )
 
@@ -50,14 +51,15 @@ func SparsifyEdges(g *graph.Graph, p core.Params, model *simcost.Model) *EdgeRes
 	deg := g.Degrees()
 	model.ChargeSort("sparsify.degrees") // nodes learn degrees (Lemma 4)
 
-	x := core.ComputeX(g, deg)
+	workers := p.Workers()
+	x := core.ComputeXW(g, deg, workers)
 	model.ChargeSort("sparsify.X") // membership of X via sorted join
 
 	dc := core.NewDegreeClasses(n, p.InvDelta)
 	classOf := make([]int, n)
-	for v := 0; v < n; v++ {
+	parallel.ForEach(workers, n, func(v int) {
 		classOf[v] = dc.Class(deg[v])
-	}
+	})
 	// Corollary 8: pick i maximising Σ_{v∈B_i} d(v), B_i = C_i ∩ X.
 	weights := make([]int64, dc.K+1)
 	for v := 0; v < n; v++ {
@@ -214,7 +216,7 @@ func runEdgeStage(g, curG *graph.Graph, cur []graph.Edge, b []bool, deg, dE0 []i
 		Model:     model,
 		Label:     "sparsify.seed",
 		MaxSeeds:  p.MaxSeedsPerSearch,
-		Parallel:  p.Parallel,
+		Workers:   p.Workers(),
 		BatchSize: batchSize(model),
 	})
 	if err != nil {
@@ -222,13 +224,18 @@ func runEdgeStage(g, curG *graph.Graph, cur []graph.Edge, b []bool, deg, dE0 []i
 		panic(err)
 	}
 
-	// Apply the selected seed: E_j = {e ∈ E_{j-1} : h(e) < th}.
-	var next []graph.Edge
-	for _, e := range cur {
-		if fam.Eval(res.Seed, core.SlotKey(e.Key(n), j, n)) < th {
-			next = append(next, e)
+	// Apply the selected seed: E_j = {e ∈ E_{j-1} : h(e) < th}. Shards
+	// filter independent edge ranges; concatenation in shard order keeps
+	// the canonical edge order of the serial scan.
+	next := parallel.Collect(p.Workers(), len(cur), func(lo, hi int) []graph.Edge {
+		var part []graph.Edge
+		for _, e := range cur[lo:hi] {
+			if fam.Eval(res.Seed, core.SlotKey(e.Key(n), j, n)) < th {
+				part = append(part, e)
+			}
 		}
-	}
+		return part
+	})
 	model.ChargeScan("sparsify.apply")
 
 	out := edgeStageOutcome{next: next}
@@ -241,44 +248,54 @@ func runEdgeStage(g, curG *graph.Graph, cur []graph.Edge, b []bool, deg, dE0 []i
 	out.SeedFound = res.Found
 
 	// Invariant (i), Lemma 10: d_{Ej}(v) <= (1+o(1)) n^{-jδ} d_{E0}(v) + n^{3δ},
-	// checked with the slack as the (1+o(1)) factor.
+	// checked with the slack as the (1+o(1)) factor. Both audits shard over
+	// vertex ranges; per-shard partials merge in shard order.
 	nextG := graph.FromEdges(n, next)
 	nJD := math.Pow(float64(n), -float64(j)/float64(dc.K))
 	n3d := math.Pow(float64(n), 3/float64(dc.K))
+	workers := p.Workers()
 	invI := InvariantCheck{Name: "Lemma10: d_Ej(v) <= (1+o(1))n^{-jδ}d_E0(v)+n^{3δ}"}
-	invII := InvariantCheck{Name: "Lemma11: |X(v)∩Ej| >= (1-o(1))n^{-jδ}|X(v)|"}
-	for v := 0; v < n; v++ {
-		if dE0[v] == 0 {
-			continue
+	invI.merge(parallel.MapReduce(workers, n, InvariantCheck{}, func(lo, hi int) InvariantCheck {
+		var part InvariantCheck
+		for v := lo; v < hi; v++ {
+			if dE0[v] == 0 {
+				continue
+			}
+			bound := p.Slack * (nJD*float64(dE0[v]) + n3d)
+			part.observe(float64(nextG.Degree(graph.NodeID(v))) / bound)
 		}
-		bound := p.Slack * (nJD*float64(dE0[v]) + n3d)
-		invI.observe(float64(nextG.Degree(graph.NodeID(v))) / bound)
-	}
+		return part
+	}, mergeChecks))
 	// Invariant (ii), Lemma 11, for v ∈ B against |X(v)| in E0.
-	for v := 0; v < n; v++ {
-		if !b[v] {
-			continue
-		}
-		xv := 0
-		for _, u := range g.Neighbors(graph.NodeID(v)) {
-			if inXof(deg, graph.NodeID(v), u) && inE0(b, deg, graph.Edge{U: graph.NodeID(v), V: u}.Canon()) {
-				xv++
+	invII := InvariantCheck{Name: "Lemma11: |X(v)∩Ej| >= (1-o(1))n^{-jδ}|X(v)|"}
+	invII.merge(parallel.MapReduce(workers, n, InvariantCheck{}, func(lo, hi int) InvariantCheck {
+		var part InvariantCheck
+		for v := lo; v < hi; v++ {
+			if !b[v] {
+				continue
 			}
-		}
-		if xv == 0 {
-			continue
-		}
-		kept := 0
-		for _, u := range nextG.Neighbors(graph.NodeID(v)) {
-			if inXof(deg, graph.NodeID(v), u) {
-				kept++
+			xv := 0
+			for _, u := range g.Neighbors(graph.NodeID(v)) {
+				if inXof(deg, graph.NodeID(v), u) && inE0(b, deg, graph.Edge{U: graph.NodeID(v), V: u}.Canon()) {
+					xv++
+				}
 			}
+			if xv == 0 {
+				continue
+			}
+			kept := 0
+			for _, u := range nextG.Neighbors(graph.NodeID(v)) {
+				if inXof(deg, graph.NodeID(v), u) {
+					kept++
+				}
+			}
+			// Lower-bound invariant: ratio = bound / measured, with the slack
+			// dividing the bound and an additive +1 absorbing integrality.
+			bound := nJD * float64(xv) / p.Slack
+			part.observe(bound / (float64(kept) + 1))
 		}
-		// Lower-bound invariant: ratio = bound / measured, with the slack
-		// dividing the bound and an additive +1 absorbing integrality.
-		bound := nJD * float64(xv) / p.Slack
-		invII.observe(bound / (float64(kept) + 1))
-	}
+		return part
+	}, mergeChecks))
 	out.InvariantI = invI
 	out.InvariantII = invII
 	return out

@@ -6,6 +6,7 @@ import (
 	"repro/internal/condexp"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/simcost"
 )
 
@@ -31,22 +32,25 @@ func SparsifyNodes(g *graph.Graph, p core.Params, model *simcost.Model) *NodeRes
 	deg := g.Degrees()
 	model.ChargeSort("sparsify.degrees")
 
+	workers := p.Workers()
 	dc := core.NewDegreeClasses(n, p.InvDelta)
 	classOf := make([]int, n)
-	for v := 0; v < n; v++ {
+	parallel.ForEach(workers, n, func(v int) {
 		classOf[v] = dc.Class(deg[v])
-	}
+	})
 
 	// B_i = {v : Σ_{u∈C_i∼v} 1/d(u) >= δ/3}; one pass accumulates all the
-	// per-class reciprocal sums of every node.
+	// per-class reciprocal sums of every node. Each vertex owns its row and
+	// folds its (fixed, sorted) neighbour list left to right, so the float
+	// sums are bit-identical at any worker count.
 	delta := p.Delta()
 	sums := make([]float64, n*(dc.K+1))
-	for v := 0; v < n; v++ {
+	parallel.ForEach(workers, n, func(v int) {
 		row := sums[v*(dc.K+1):]
 		for _, u := range g.Neighbors(graph.NodeID(v)) {
 			row[classOf[u]] += 1 / float64(deg[u])
 		}
-	}
+	})
 	model.ChargeSort("sparsify.classSums")
 
 	weights := make([]int64, dc.K+1)
@@ -92,7 +96,7 @@ func SparsifyNodes(g *graph.Graph, p core.Params, model *simcost.Model) *NodeRes
 		res.UsedFallback = true
 	}
 	res.Q = cur
-	res.QGraph = g.InducedNodes(cur)
+	res.QGraph = g.InducedNodesW(cur, workers)
 	return res
 }
 
@@ -206,19 +210,20 @@ func runNodeStage(g *graph.Graph, cur, b []bool, deg []int,
 		Model:     model,
 		Label:     "sparsify.seed",
 		MaxSeeds:  p.MaxSeedsPerSearch,
-		Parallel:  p.Parallel,
+		Workers:   p.Workers(),
 		BatchSize: batchSize(model),
 	})
 	if err != nil {
 		panic(err)
 	}
 
+	workers := p.Workers()
 	next := make([]bool, n)
-	for v := 0; v < n; v++ {
+	parallel.ForEach(workers, n, func(v int) {
 		if cur[v] && fam.Eval(res.Seed, core.SlotKey(uint64(v), j, n)) < th {
 			next[v] = true
 		}
-	}
+	})
 	model.ChargeScan("sparsify.apply")
 
 	report := StageReport{
@@ -232,40 +237,49 @@ func runNodeStage(g *graph.Graph, cur, b []bool, deg []int,
 	}
 
 	// Invariant (i), Lemma 17: for v ∈ Qj, d_{Qj}(v) <= (1+o(1)) n^{-jδ} d(v).
+	// Both audits shard over vertex ranges with shard-ordered merges.
 	nJD := math.Pow(float64(n), -float64(j)/float64(dc.K))
 	n3d := math.Pow(float64(n), 3/float64(dc.K))
 	invI := InvariantCheck{Name: "Lemma17: d_Qj(v) <= (1+o(1))n^{-jδ}d(v)"}
-	invII := InvariantCheck{Name: "Lemma18: Σ_{u∈Qj∼v}1/d(u) >= (δ-o(1))/(3n^{δj})"}
-	for v := 0; v < n; v++ {
-		if !next[v] {
-			continue
-		}
-		dQ := 0
-		for _, u := range g.Neighbors(graph.NodeID(v)) {
-			if next[u] {
-				dQ++
+	invI.merge(parallel.MapReduce(workers, n, InvariantCheck{}, func(lo, hi int) InvariantCheck {
+		var part InvariantCheck
+		for v := lo; v < hi; v++ {
+			if !next[v] {
+				continue
 			}
+			dQ := 0
+			for _, u := range g.Neighbors(graph.NodeID(v)) {
+				if next[u] {
+					dQ++
+				}
+			}
+			// The additive n^{3δ} mirrors Lemma 10's small-degree regime (the
+			// proof of Lemma 17 stops shrinking once degrees fall below n^{3δ}).
+			bound := p.Slack * (nJD*float64(deg[v]) + n3d)
+			part.observe(float64(dQ) / bound)
 		}
-		// The additive n^{3δ} mirrors Lemma 10's small-degree regime (the
-		// proof of Lemma 17 stops shrinking once degrees fall below n^{3δ}).
-		bound := p.Slack * (nJD*float64(deg[v]) + n3d)
-		invI.observe(float64(dQ) / bound)
-	}
+		return part
+	}, mergeChecks))
 	delta := p.Delta()
-	for v := 0; v < n; v++ {
-		if !b[v] {
-			continue
-		}
-		var sum float64
-		for _, u := range g.Neighbors(graph.NodeID(v)) {
-			if next[u] {
-				sum += 1 / float64(deg[u])
+	invII := InvariantCheck{Name: "Lemma18: Σ_{u∈Qj∼v}1/d(u) >= (δ-o(1))/(3n^{δj})"}
+	invII.merge(parallel.MapReduce(workers, n, InvariantCheck{}, func(lo, hi int) InvariantCheck {
+		var part InvariantCheck
+		for v := lo; v < hi; v++ {
+			if !b[v] {
+				continue
 			}
+			var sum float64
+			for _, u := range g.Neighbors(graph.NodeID(v)) {
+				if next[u] {
+					sum += 1 / float64(deg[u])
+				}
+			}
+			bound := delta / (3 * math.Pow(float64(n), float64(j)/float64(dc.K)) * p.Slack)
+			// +1/n absorbs integrality at laptop scale.
+			part.observe(bound / (sum + 1/float64(n)))
 		}
-		bound := delta / (3 * math.Pow(float64(n), float64(j)/float64(dc.K)) * p.Slack)
-		// +1/n absorbs integrality at laptop scale.
-		invII.observe(bound / (sum + 1/float64(n)))
-	}
+		return part
+	}, mergeChecks))
 	report.InvariantI = invI
 	report.InvariantII = invII
 	return report, next

@@ -49,6 +49,23 @@ type StageReport struct {
 	InvariantII InvariantCheck
 }
 
+// merge folds a per-shard partial into c. Counts add and WorstRatio is a
+// max, so the sharded invariant audits produce the same summary as the
+// serial scan regardless of worker count.
+func (c *InvariantCheck) merge(part InvariantCheck) {
+	c.Checked += part.Checked
+	c.Violated += part.Violated
+	if part.WorstRatio > c.WorstRatio {
+		c.WorstRatio = part.WorstRatio
+	}
+}
+
+// mergeChecks is merge as a fold function for parallel.MapReduce.
+func mergeChecks(acc, part InvariantCheck) InvariantCheck {
+	acc.merge(part)
+	return acc
+}
+
 // observe folds a measured/bound comparison into an InvariantCheck; ratio
 // is measured relative to the allowed bound (<= 1 passes).
 func (c *InvariantCheck) observe(ratio float64) {

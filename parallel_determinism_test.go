@@ -1,0 +1,161 @@
+package repro
+
+// Worker-count-independence tests: the determinism contract of the shared
+// parallel-execution subsystem (internal/parallel) says every public result
+// is bit-identical at any Options.Parallelism. These tables exercise the
+// contract end to end on several generated families and both strategies;
+// CI runs them under -race so that a scheduling-dependent write is flagged
+// even when it happens to produce the right bits.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/detrand"
+	"repro/internal/luby"
+)
+
+var determinismWorkloads = []struct {
+	family string
+	n      int
+	avgDeg int
+	seed   uint64
+}{
+	{"gnm", 512, 8, 1},
+	{"gnm", 400, 24, 7},
+	{"powerlaw", 512, 6, 3},
+	{"regular", 384, 8, 5},
+	{"grid", 400, 4, 2},
+	{"star", 256, 2, 4},
+}
+
+var parallelismLevels = []int{1, 2, 8}
+
+func TestMaximalMatchingWorkerCountIndependence(t *testing.T) {
+	for _, w := range determinismWorkloads {
+		for _, strat := range []Strategy{StrategySparsify, StrategyLowDegree} {
+			t.Run(fmt.Sprintf("%s/n=%d/%s", w.family, w.n, strat), func(t *testing.T) {
+				g, err := Generate(w.family, w.n, w.avgDeg, w.seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var ref *MatchingResult
+				for _, par := range parallelismLevels {
+					res, err := MaximalMatching(g, &Options{Strategy: strat, Parallelism: par})
+					if err != nil {
+						t.Fatalf("Parallelism=%d: %v", par, err)
+					}
+					if ref == nil {
+						ref = res
+						continue
+					}
+					if len(res.Edges) != len(ref.Edges) {
+						t.Fatalf("Parallelism=%d: %d edges, want %d", par, len(res.Edges), len(ref.Edges))
+					}
+					for i := range res.Edges {
+						if res.Edges[i] != ref.Edges[i] {
+							t.Fatalf("Parallelism=%d: edge %d is %v, want %v", par, i, res.Edges[i], ref.Edges[i])
+						}
+					}
+					if res.Iterations != ref.Iterations {
+						t.Fatalf("Parallelism=%d: %d iterations, want %d", par, res.Iterations, ref.Iterations)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestMaximalIndependentSetWorkerCountIndependence(t *testing.T) {
+	for _, w := range determinismWorkloads {
+		for _, strat := range []Strategy{StrategySparsify, StrategyLowDegree} {
+			t.Run(fmt.Sprintf("%s/n=%d/%s", w.family, w.n, strat), func(t *testing.T) {
+				g, err := Generate(w.family, w.n, w.avgDeg, w.seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var ref *MISResult
+				for _, par := range parallelismLevels {
+					res, err := MaximalIndependentSet(g, &Options{Strategy: strat, Parallelism: par})
+					if err != nil {
+						t.Fatalf("Parallelism=%d: %v", par, err)
+					}
+					if ref == nil {
+						ref = res
+						continue
+					}
+					if len(res.Nodes) != len(ref.Nodes) {
+						t.Fatalf("Parallelism=%d: %d nodes, want %d", par, len(res.Nodes), len(ref.Nodes))
+					}
+					for i := range res.Nodes {
+						if res.Nodes[i] != ref.Nodes[i] {
+							t.Fatalf("Parallelism=%d: node %d is %d, want %d", par, i, res.Nodes[i], ref.Nodes[i])
+						}
+					}
+					if res.Iterations != ref.Iterations {
+						t.Fatalf("Parallelism=%d: %d iterations, want %d", par, res.Iterations, ref.Iterations)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSerialAliasMatchesParallelismOne pins the legacy Options.Serial alias
+// to the Parallelism=1 path.
+func TestSerialAliasMatchesParallelismOne(t *testing.T) {
+	g, err := Generate("gnm", 400, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := MaximalIndependentSet(g, &Options{Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MaximalIndependentSet(g, &Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("Serial and Parallelism=1 disagree: %d vs %d nodes", len(a.Nodes), len(b.Nodes))
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatalf("node %d differs: %d vs %d", i, a.Nodes[i], b.Nodes[i])
+		}
+	}
+}
+
+// TestLubyBaselinesWorkerCountIndependence covers the randomized baselines'
+// sharded candidate evaluation: same detrand seed, different worker counts,
+// identical outputs.
+func TestLubyBaselinesWorkerCountIndependence(t *testing.T) {
+	for _, w := range determinismWorkloads[:3] {
+		g, err := Generate(w.family, w.n, w.avgDeg, w.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refIS := luby.MISW(g, detrand.New(42), 1)
+		refMM := luby.MaximalMatchingW(g, detrand.New(42), 1)
+		for _, workers := range parallelismLevels[1:] {
+			is := luby.MISW(g, detrand.New(42), workers)
+			if len(is.IndependentSet) != len(refIS.IndependentSet) {
+				t.Fatalf("%s: MIS size differs at workers=%d", w.family, workers)
+			}
+			for i := range is.IndependentSet {
+				if is.IndependentSet[i] != refIS.IndependentSet[i] {
+					t.Fatalf("%s: MIS node %d differs at workers=%d", w.family, i, workers)
+				}
+			}
+			mm := luby.MaximalMatchingW(g, detrand.New(42), workers)
+			if len(mm.Matching) != len(refMM.Matching) {
+				t.Fatalf("%s: matching size differs at workers=%d", w.family, workers)
+			}
+			for i := range mm.Matching {
+				if mm.Matching[i] != refMM.Matching[i] {
+					t.Fatalf("%s: matching edge %d differs at workers=%d", w.family, i, workers)
+				}
+			}
+		}
+	}
+}
