@@ -6,7 +6,7 @@ GO ?= go
 BENCH_PATTERN ?= .
 BENCH_OUT ?= BENCH_results.json
 
-.PHONY: build test race bench bench-smoke fmt fmt-check vet ci
+.PHONY: build test race race-engine bench bench-smoke fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -22,14 +22,23 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
+# The warm-Engine determinism tables in isolation: worker-count independence
+# of a REUSED engine (dirty scratch buffers, pooled contexts) under the race
+# detector. Part of `make race` too; this target mirrors the dedicated CI
+# job so an engine-reuse regression is attributable at a glance.
+race-engine:
+	$(GO) test -race -timeout 30m -run 'TestEngineReuseWorkerCountIndependence|TestEngineConcurrentSolves' .
+
 # Full benchmark run (minutes); BENCH_PATTERN narrows it.
 bench:
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run '^$$' .
 
 # One iteration per benchmark: compiles and exercises every benchmark body,
-# emits $(BENCH_OUT) via cmd/benchjson. CI archives the JSON as an artifact.
+# emits $(BENCH_OUT) via cmd/benchjson. Runs with -benchmem so the archived
+# JSON carries B/op + allocs/op and the allocation trajectory can be diffed
+# across commits alongside ns/op.
 bench-smoke:
-	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
 
 fmt:
 	gofmt -w .
@@ -40,4 +49,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check race bench-smoke
+ci: build vet fmt-check race race-engine bench-smoke

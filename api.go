@@ -3,6 +3,7 @@ package repro
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/check"
 	"repro/internal/core"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/lowdeg"
 	"repro/internal/matching"
 	"repro/internal/mis"
+	"repro/internal/scratch"
 	"repro/internal/simcost"
 )
 
@@ -103,10 +105,10 @@ func (o *Options) params() core.Params {
 	if o.ThresholdFrac != 0 {
 		p.ThresholdFrac = o.ThresholdFrac
 	}
-	p.Parallelism = o.Parallelism
-	if o.Serial {
-		p.Parallelism = 1
-	}
+	// Serial/Parallelism precedence is decided in exactly one place
+	// (core.EffectiveParallelism); everything below this call sees only
+	// Params.Parallelism.
+	p.Parallelism = core.EffectiveParallelism(o.Serial, o.Parallelism)
 	return p
 }
 
@@ -166,13 +168,102 @@ type MISResult struct {
 // ErrNilGraph is returned when the input graph is nil.
 var ErrNilGraph = errors.New("repro: nil graph")
 
+// Engine is a reusable solver for the deterministic algorithms. It owns a
+// pool of per-solve scratch contexts (arena-backed masks, tables and CSR
+// double-buffers, see internal/scratch), so repeated solves on a warm
+// Engine reuse the buffers of earlier ones instead of reallocating the
+// working set every round — the first solve pays the full allocation bill,
+// later solves of similar or smaller size run allocation-flat.
+//
+// An Engine is safe for concurrent use: each in-flight solve checks a
+// private context out of the pool, so a server can share one Engine across
+// request goroutines (that is the intended lifecycle — construct once,
+// reuse for all traffic of a given Options). The determinism contract is
+// unchanged: results are bit-identical to the free functions at every
+// Parallelism setting, whether the engine is cold, warm, or shared.
+//
+// The zero value is an Engine with default Options.
+type Engine struct {
+	opts Options
+	pool sync.Pool
+}
+
+// NewEngine returns an Engine solving with the given options (nil means
+// defaults). The options are captured by value at construction.
+func NewEngine(opts *Options) *Engine {
+	e := &Engine{}
+	if opts != nil {
+		e.opts = *opts
+	}
+	return e
+}
+
+// ctx checks a scratch context out of the pool.
+func (e *Engine) ctx() *scratch.Context {
+	if c, ok := e.pool.Get().(*scratch.Context); ok {
+		return c
+	}
+	return scratch.New()
+}
+
+// MaximalMatching computes a maximal matching of g deterministically
+// (Theorem 1), reusing the engine's pooled solve state. The result is
+// verified maximal before returning and never aliases engine memory.
+func (e *Engine) MaximalMatching(g *Graph) (*MatchingResult, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	sc := e.ctx()
+	out, err := solveMatching(sc, g, &e.opts)
+	// On panic the context is abandoned rather than re-pooled.
+	e.pool.Put(sc)
+	return out, err
+}
+
+// MaximalIndependentSet computes an MIS of g deterministically (Theorem 1),
+// reusing the engine's pooled solve state. The result is verified maximal
+// before returning and never aliases engine memory.
+func (e *Engine) MaximalIndependentSet(g *Graph) (*MISResult, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	sc := e.ctx()
+	out, err := solveMIS(sc, g, &e.opts)
+	e.pool.Put(sc)
+	return out, err
+}
+
 // MaximalMatching computes a maximal matching of g deterministically
 // (Theorem 1). opts may be nil for defaults. The result is verified
 // maximal before returning.
+//
+// It is a convenience wrapper equivalent to a one-shot Engine solve;
+// callers issuing repeated solves should hold an Engine to reuse its
+// pooled state.
 func MaximalMatching(g *Graph, opts *Options) (*MatchingResult, error) {
 	if g == nil {
 		return nil, ErrNilGraph
 	}
+	return solveMatching(scratch.New(), g, opts)
+}
+
+// MaximalIndependentSet computes an MIS of g deterministically (Theorem 1).
+// opts may be nil for defaults. The result is verified maximal before
+// returning.
+//
+// It is a convenience wrapper equivalent to a one-shot Engine solve;
+// callers issuing repeated solves should hold an Engine to reuse its
+// pooled state.
+func MaximalIndependentSet(g *Graph, opts *Options) (*MISResult, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	return solveMIS(scratch.New(), g, opts)
+}
+
+// resolve computes the per-solve parameterisation: core params, optional
+// cost model and the concrete strategy for g.
+func resolve(g *Graph, opts *Options) (core.Params, *simcost.Model, Strategy, error) {
 	p := opts.params()
 	var model *simcost.Model
 	if opts.trackCosts() {
@@ -186,16 +277,27 @@ func MaximalMatching(g *Graph, opts *Options) (*MatchingResult, error) {
 			strat = StrategySparsify
 		}
 	}
+	switch strat {
+	case StrategyLowDegree, StrategySparsify:
+		return p, model, strat, nil
+	default:
+		return p, model, strat, fmt.Errorf("repro: unknown strategy %q", strat)
+	}
+}
+
+func solveMatching(sc *scratch.Context, g *Graph, opts *Options) (*MatchingResult, error) {
+	p, model, strat, err := resolve(g, opts)
+	if err != nil {
+		return nil, err
+	}
 	var out *MatchingResult
 	switch strat {
 	case StrategyLowDegree:
-		res := lowdeg.MaximalMatching(g, p, model)
+		res := lowdeg.MaximalMatchingIn(sc, g, p, model)
 		out = &MatchingResult{Edges: res.Matching, Iterations: len(res.MIS.Phases), Strategy: strat}
 	case StrategySparsify:
-		res := matching.Deterministic(g, p, model)
+		res := matching.DeterministicIn(sc, g, p, model)
 		out = &MatchingResult{Edges: res.Matching, Iterations: len(res.Iterations), Strategy: strat}
-	default:
-		return nil, fmt.Errorf("repro: unknown strategy %q", strat)
 	}
 	if ok, reason := check.IsMaximalMatching(g, out.Edges); !ok {
 		return nil, fmt.Errorf("repro: internal error, output not maximal: %s", reason)
@@ -204,36 +306,19 @@ func MaximalMatching(g *Graph, opts *Options) (*MatchingResult, error) {
 	return out, nil
 }
 
-// MaximalIndependentSet computes an MIS of g deterministically (Theorem 1).
-// opts may be nil for defaults. The result is verified maximal before
-// returning.
-func MaximalIndependentSet(g *Graph, opts *Options) (*MISResult, error) {
-	if g == nil {
-		return nil, ErrNilGraph
-	}
-	p := opts.params()
-	var model *simcost.Model
-	if opts.trackCosts() {
-		model = simcost.New(g.N(), g.M(), p.Epsilon)
-	}
-	strat := opts.strategy()
-	if strat == StrategyAuto {
-		if lowdeg.Suitable(g, p, model) {
-			strat = StrategyLowDegree
-		} else {
-			strat = StrategySparsify
-		}
+func solveMIS(sc *scratch.Context, g *Graph, opts *Options) (*MISResult, error) {
+	p, model, strat, err := resolve(g, opts)
+	if err != nil {
+		return nil, err
 	}
 	var out *MISResult
 	switch strat {
 	case StrategyLowDegree:
-		res := lowdeg.MIS(g, p, model)
+		res := lowdeg.MISIn(sc, g, p, model)
 		out = &MISResult{Nodes: res.IndependentSet, Iterations: len(res.Phases), Strategy: strat}
 	case StrategySparsify:
-		res := mis.Deterministic(g, p, model)
+		res := mis.DeterministicIn(sc, g, p, model)
 		out = &MISResult{Nodes: res.IndependentSet, Iterations: len(res.Iterations), Strategy: strat}
-	default:
-		return nil, fmt.Errorf("repro: unknown strategy %q", strat)
 	}
 	if ok, reason := check.IsMaximalIS(g, out.Nodes); !ok {
 		return nil, fmt.Errorf("repro: internal error, output not maximal: %s", reason)

@@ -330,6 +330,72 @@ func benchMPCRoundFanout(b *testing.B, workers int) {
 	}
 }
 
+// The BenchmarkEngine* group measures the reusable-solver layer: the
+// *Reuse benchmarks solve on a warm Engine (steady-state of a server
+// handling repeated traffic — allocation-flat by the scratch arenas and CSR
+// double-buffers), while the *OneShot pairs run the free-function wrapper,
+// which pays the full working-set allocation every call. Run with -benchmem
+// (the Makefile bench targets do) so CI archives B/op and allocs/op; the
+// delta between each pair is the allocation bill the Engine amortises.
+
+// BenchmarkEngineReuseMatching times a warm-Engine matching re-solve.
+func BenchmarkEngineReuseMatching(b *testing.B) {
+	g := gen.GNM(1<<12, 8<<12, 1)
+	eng := NewEngine(&Options{Strategy: StrategySparsify, SkipCostTracking: true})
+	if _, err := eng.MaximalMatching(g); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.MaximalMatching(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineOneShotMatching is the free-function counterpart of
+// BenchmarkEngineReuseMatching (fresh scratch every call).
+func BenchmarkEngineOneShotMatching(b *testing.B) {
+	g := gen.GNM(1<<12, 8<<12, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaximalMatching(g, &Options{Strategy: StrategySparsify, SkipCostTracking: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineReuseMIS times a warm-Engine MIS re-solve.
+func BenchmarkEngineReuseMIS(b *testing.B) {
+	g := gen.GNM(1<<12, 8<<12, 1)
+	eng := NewEngine(&Options{Strategy: StrategySparsify, SkipCostTracking: true})
+	if _, err := eng.MaximalIndependentSet(g); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.MaximalIndependentSet(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineOneShotMIS is the free-function counterpart of
+// BenchmarkEngineReuseMIS.
+func BenchmarkEngineOneShotMIS(b *testing.B) {
+	g := gen.GNM(1<<12, 8<<12, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaximalIndependentSet(g, &Options{Strategy: StrategySparsify, SkipCostTracking: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPublicAPI_MIS times the façade end to end (what a downstream
 // user calls).
 func BenchmarkPublicAPI_MIS(b *testing.B) {

@@ -40,10 +40,16 @@ type Result struct {
 	Iterations int64 `json:"iterations"`
 	// NsPerOp is the ns/op metric when present.
 	NsPerOp float64 `json:"ns_per_op,omitempty"`
-	// BytesPerOp is the B/op metric when present (-benchmem / ReportAllocs).
-	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
-	// AllocsPerOp is the allocs/op metric when present.
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// BytesPerOp is the B/op metric (-benchmem / ReportAllocs). Always
+	// emitted — the allocation trajectory is archived alongside ns/op, so
+	// downstream diffs can rely on the column existing.
+	BytesPerOp float64 `json:"bytes_per_op"`
+	// AllocsPerOp is the allocs/op metric. Always emitted, see BytesPerOp.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// HasMem records whether the line carried BOTH the B/op and allocs/op
+	// fields (distinguishes a true zero from a run without -benchmem or a
+	// truncated line).
+	HasMem bool `json:"has_mem"`
 	// Metrics holds any remaining unit → value pairs (custom b.ReportMetric
 	// units, MB/s, ...).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
@@ -86,9 +92,23 @@ func main() {
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
 	}
+	if noMem := countWithoutMem(results); noMem > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: warning: %d result(s) lack B/op+allocs/op — was the run missing -benchmem?\n", noMem)
+	}
 	if failed > 0 {
 		log.Fatalf("%d package(s) reported FAIL", failed)
 	}
+}
+
+// countWithoutMem returns how many results carried no allocation metrics.
+func countWithoutMem(results []Result) int {
+	n := 0
+	for _, r := range results {
+		if !r.HasMem {
+			n++
+		}
+	}
+	return n
 }
 
 // parse scans `go test -bench` output and returns the benchmark results plus
@@ -129,6 +149,7 @@ func parseLine(line string) (Result, bool) {
 	}
 	name, procs := splitProcs(fields[0])
 	res := Result{Name: name, Procs: procs, Iterations: iters}
+	var sawBytes, sawAllocs bool
 	// Remaining fields come in "<value> <unit>" pairs.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
@@ -140,8 +161,10 @@ func parseLine(line string) (Result, bool) {
 			res.NsPerOp = v
 		case "B/op":
 			res.BytesPerOp = v
+			sawBytes = true
 		case "allocs/op":
 			res.AllocsPerOp = v
+			sawAllocs = true
 		default:
 			if res.Metrics == nil {
 				res.Metrics = make(map[string]float64)
@@ -149,6 +172,9 @@ func parseLine(line string) (Result, bool) {
 			res.Metrics[unit] = v
 		}
 	}
+	// Both units must be present before the allocation columns count as
+	// real: a lone B/op (truncated line) must not read as zero allocs/op.
+	res.HasMem = sawBytes && sawAllocs
 	return res, true
 }
 

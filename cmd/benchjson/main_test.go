@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"reflect"
 	"strings"
 	"testing"
@@ -26,13 +27,35 @@ ok  	repro	12.345s
 		t.Fatalf("failed = %d, want 0", failed)
 	}
 	want := []Result{
-		{Name: "BenchmarkMatchingDeterministicSerial", Procs: 8, Iterations: 3, NsPerOp: 410123456, BytesPerOp: 20123456, AllocsPerOp: 123456},
-		{Name: "BenchmarkMatchingDeterministicParallel", Procs: 8, Iterations: 10, NsPerOp: 110123456, BytesPerOp: 21123456, AllocsPerOp: 123999},
+		{Name: "BenchmarkMatchingDeterministicSerial", Procs: 8, Iterations: 3, NsPerOp: 410123456, BytesPerOp: 20123456, AllocsPerOp: 123456, HasMem: true},
+		{Name: "BenchmarkMatchingDeterministicParallel", Procs: 8, Iterations: 10, NsPerOp: 110123456, BytesPerOp: 21123456, AllocsPerOp: 123999, HasMem: true},
 		{Name: "BenchmarkCustomMetric", Procs: 4, Iterations: 100, NsPerOp: 991122, Metrics: map[string]float64{"rounds/op": 17.5}},
 		{Name: "BenchmarkNoSuffix", Procs: 1, Iterations: 1, NsPerOp: 1000},
 	}
 	if !reflect.DeepEqual(results, want) {
 		t.Fatalf("parse mismatch:\n got %+v\nwant %+v", results, want)
+	}
+	if got := countWithoutMem(results); got != 2 {
+		t.Fatalf("countWithoutMem = %d, want 2", got)
+	}
+}
+
+// TestBenchmemColumnsAlwaysEmitted pins the JSON contract: the allocation
+// columns are present on every row (no omitempty), so the archived artifact
+// can be diffed for allocation regressions without schema sniffing.
+func TestBenchmemColumnsAlwaysEmitted(t *testing.T) {
+	results, _, err := parse(strings.NewReader("BenchmarkX-2 5 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := json.NewEncoder(&buf).Encode(results); err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{`"bytes_per_op"`, `"allocs_per_op"`, `"has_mem"`} {
+		if !strings.Contains(buf.String(), col) {
+			t.Fatalf("JSON missing column %s: %s", col, buf.String())
+		}
 	}
 }
 
@@ -57,5 +80,17 @@ func TestParseSkipsNonResultBenchmarkLines(t *testing.T) {
 	}
 	if len(results) != 0 {
 		t.Fatalf("got %d results, want 0", len(results))
+	}
+}
+
+// TestHasMemRequiresBothUnits pins the flag semantics: a line carrying only
+// one of B/op / allocs/op does not count as a -benchmem result.
+func TestHasMemRequiresBothUnits(t *testing.T) {
+	results, _, err := parse(strings.NewReader("BenchmarkX-2 5 100 ns/op 50 B/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].HasMem {
+		t.Fatalf("lone B/op must not set HasMem: %+v", results)
 	}
 }

@@ -24,6 +24,34 @@
 // derandomization thresholds, and whether to track MPC round/space costs;
 // results carry the output, iteration counts and an optional CostReport.
 //
+// # The Engine
+//
+// The algorithms are iterative — rounds of sparsify → derandomize → peel —
+// and the per-round working set shrinks geometrically, so buffers sized on
+// the first round serve every later one. Engine exploits that: it owns a
+// pool of per-solve scratch contexts (typed arenas for masks and tables,
+// plus CSR double-buffers that the shrinking graph ping-pongs between, see
+// internal/scratch), so repeated solves on a warm Engine run
+// allocation-flat instead of reallocating the working set every round.
+//
+//	eng := repro.NewEngine(&repro.Options{})
+//	for _, g := range graphs {
+//		res, err := eng.MaximalIndependentSet(g) // warm after the first call
+//		...
+//	}
+//
+// Lifecycle: construct one Engine per Options configuration and share it —
+// it is safe for concurrent use (each in-flight solve checks a private
+// context out of the pool and returns it when done, so concurrency costs
+// pool depth, not correctness). Results never alias engine memory. The free
+// functions MaximalMatching and MaximalIndependentSet are convenience
+// wrappers equivalent to a one-shot engine solve; prefer an Engine whenever
+// solves repeat. The determinism contract below is unchanged by reuse:
+// outputs are bit-identical cold, warm, or pooled — scratch reuse changes
+// memory lifetimes, never values — and CI enforces this by running the
+// worker-count-independence tables against warm reused engines under the
+// race detector (make race-engine).
+//
 // Everything the algorithms rely on is implemented in this module under
 // internal/: the MPC cluster simulator with Lemma 4's constant-round
 // sorting and prefix sums (internal/mpc), the round/space cost model

@@ -203,8 +203,9 @@ func VerifyProper(g *graph.Graph, colors []int) error {
 // VerifyDistance2 returns an error unless colors is a distance-2 proper
 // colouring of g (proper on G²).
 func VerifyDistance2(g *graph.Graph, colors []int) error {
+	bs := new(graph.BallScratch)
 	for v := 0; v < g.N(); v++ {
-		ball := g.Ball(graph.NodeID(v), 2)
+		ball := g.BallInto(bs, graph.NodeID(v), 2)
 		for _, u := range ball {
 			if u != graph.NodeID(v) && colors[u] == colors[v] {
 				return fmt.Errorf("nodes %d and %d within distance 2 share colour %d", v, u, colors[v])

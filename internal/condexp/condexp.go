@@ -107,6 +107,12 @@ func SearchAtLeast(fam hashfam.Family, obj Objective, threshold int64, opts Opti
 	best := Result{Value: -1 << 62}
 	seedLen := fam.SeedLen()
 
+	// One backing array serves every candidate seed of every batch (batch
+	// slot i always reuses the same sub-slice), so the scan's allocation
+	// cost is a small constant per search instead of one make per seed —
+	// the searches run once per round of the outer algorithms, and the
+	// Engine's allocation-flatness depends on them staying cheap.
+	seedBuf := make([]uint64, opts.BatchSize*seedLen)
 	batch := make([][]uint64, 0, opts.BatchSize)
 	values := make([]int64, opts.BatchSize)
 	tried := 0
@@ -139,7 +145,8 @@ func SearchAtLeast(fam hashfam.Family, obj Objective, threshold int64, opts Opti
 	}
 
 	for tried < opts.MaxSeeds && enum.Next() {
-		seed := make([]uint64, seedLen)
+		i := len(batch)
+		seed := seedBuf[i*seedLen : (i+1)*seedLen : (i+1)*seedLen]
 		copy(seed, enum.Seed())
 		batch = append(batch, seed)
 		tried++

@@ -7,6 +7,7 @@ package core
 
 import (
 	"math"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/hashfam"
@@ -50,6 +51,18 @@ type Params struct {
 
 // Workers resolves Parallelism to a concrete worker count.
 func (p Params) Workers() int { return parallel.Workers(p.Parallelism) }
+
+// EffectiveParallelism resolves the public (Serial, Parallelism) option pair
+// to the single Parallelism value used internally: Serial wins when set.
+// This is the ONLY place that precedence is decided — the root package's
+// Options.params() and Engine both funnel through it, so the two knobs can
+// never disagree between layers.
+func EffectiveParallelism(serial bool, parallelism int) int {
+	if serial {
+		return 1
+	}
+	return parallelism
+}
 
 // DefaultParams returns the parameterisation used throughout the experiment
 // suite: ε = 0.5 (S = √n), δ = 1/16, 4-wise independence, slack 4,
@@ -105,11 +118,23 @@ type DegreeClasses struct {
 	Bounds []uint64 // Bounds[i] = ceil(n^{i/K}) for i = 0..K; Bounds[0] = 1
 }
 
+// dcCache memoises the most recent DegreeClasses. The boundaries are a pure
+// function of (n, k), n is the (round-invariant) id-space size and k the
+// configured 1/δ, so the round loops ask for the same table every iteration
+// — and computing it runs math/big exponentiations that would otherwise
+// dominate a warm solve's allocations. A single-slot atomic cache suffices:
+// the value is immutable after construction, so racing solves at worst
+// recompute.
+var dcCache atomic.Pointer[DegreeClasses]
+
 // NewDegreeClasses precomputes class boundaries for an n-node graph with
 // K = 1/δ classes.
 func NewDegreeClasses(n, k int) *DegreeClasses {
 	if n < 1 || k < 1 {
 		panic("core: NewDegreeClasses requires n, k >= 1")
+	}
+	if c := dcCache.Load(); c != nil && c.N == n && c.K == k {
+		return c
 	}
 	bounds := make([]uint64, k+1)
 	bounds[0] = 1
@@ -119,7 +144,9 @@ func NewDegreeClasses(n, k int) *DegreeClasses {
 			bounds[i] = bounds[i-1] + 1 // keep bands non-degenerate at tiny n
 		}
 	}
-	return &DegreeClasses{N: n, K: k, Bounds: bounds}
+	dc := &DegreeClasses{N: n, K: k, Bounds: bounds}
+	dcCache.Store(dc)
+	return dc
 }
 
 // Class returns the class index in [1, K] of a node with degree d, or 0 for
@@ -199,10 +226,20 @@ func ComputeX(g *graph.Graph, deg []int) []bool { return ComputeXW(g, deg, 0) }
 // workers; each vertex's indicator is independent, so the result is
 // identical at any worker count.
 func ComputeXW(g *graph.Graph, deg []int, workers int) []bool {
-	x := make([]bool, g.N())
+	return ComputeXInto(make([]bool, g.N()), g, deg, workers)
+}
+
+// ComputeXInto is ComputeXW writing into dst (length N) instead of
+// allocating. Every slot is assigned, so a dirty destination cannot leak
+// into the result.
+func ComputeXInto(dst []bool, g *graph.Graph, deg []int, workers int) []bool {
+	if len(dst) != g.N() {
+		panic("core: ComputeXInto length mismatch")
+	}
 	parallel.ForEach(workers, g.N(), func(v int) {
 		dv := deg[v]
 		if dv == 0 {
+			dst[v] = false
 			return
 		}
 		cnt := 0
@@ -211,9 +248,9 @@ func ComputeXW(g *graph.Graph, deg []int, workers int) []bool {
 				cnt++
 			}
 		}
-		x[v] = 3*cnt >= dv
+		dst[v] = 3*cnt >= dv
 	})
-	return x
+	return dst
 }
 
 // XWeight returns Σ_{v∈X} d(v) (Lemma 3 lower-bounds it by |E|, summing each
@@ -238,18 +275,28 @@ func ComputeA(g *graph.Graph, deg []int) []bool { return ComputeAW(g, deg, 0) }
 // over its own (fixed) neighbour list, so the floating-point result is
 // bit-identical at any worker count.
 func ComputeAW(g *graph.Graph, deg []int, workers int) []bool {
-	a := make([]bool, g.N())
+	return ComputeAInto(make([]bool, g.N()), g, deg, workers)
+}
+
+// ComputeAInto is ComputeAW writing into dst (length N) instead of
+// allocating. Every slot is assigned, so a dirty destination cannot leak
+// into the result.
+func ComputeAInto(dst []bool, g *graph.Graph, deg []int, workers int) []bool {
+	if len(dst) != g.N() {
+		panic("core: ComputeAInto length mismatch")
+	}
 	parallel.ForEach(workers, g.N(), func(v int) {
 		if deg[v] == 0 {
+			dst[v] = false
 			return
 		}
 		var sum float64
 		for _, u := range g.Neighbors(graph.NodeID(v)) {
 			sum += 1 / float64(deg[u])
 		}
-		a[v] = sum >= 1.0/3-1e-12
+		dst[v] = sum >= 1.0/3-1e-12
 	})
-	return a
+	return dst
 }
 
 // ZKey orders candidates deterministically by (hash value, id): the paper's
@@ -268,24 +315,45 @@ func (a ZKey) Less(b ZKey) bool {
 	return a.ID < b.ID
 }
 
+// EdgeMinScratch is the reusable working state of LocalMinEdgesInto: the
+// per-node minimum tables and the output buffer. Seed searches evaluate the
+// selection once per candidate seed, so pooling this state (one per worker,
+// see scratch.PerWorker) removes the dominant per-seed allocations of the
+// matching path. The zero value is ready to use. Every field is fully
+// rewritten by each call, so reuse cannot change any computed value.
+type EdgeMinScratch struct {
+	min1, min2 []ZKey
+	arg1       []uint64
+	keys       []ZKey
+	out        []graph.Edge
+}
+
 // LocalMinEdges returns the candidate matching E_h of Section 3.3: the edges
 // of estar whose (z, key) is strictly smaller than every adjacent edge's.
 // zOf supplies z values (typically a bound hash function); edges is the
 // canonical edge list of estar. The result is always a matching.
 func LocalMinEdges(estar *graph.Graph, edges []graph.Edge, zOf func(graph.Edge) uint64) []graph.Edge {
+	return LocalMinEdgesInto(new(EdgeMinScratch), estar, edges, zOf)
+}
+
+// LocalMinEdgesInto is LocalMinEdges drawing all working state from s. The
+// returned slice aliases s.out and is valid until the next call with the
+// same scratch.
+func LocalMinEdgesInto(s *EdgeMinScratch, estar *graph.Graph, edges []graph.Edge, zOf func(graph.Edge) uint64) []graph.Edge {
 	n := estar.N()
 	// Per-node minimum and second minimum incident (z,key), so the minimum
 	// excluding any given edge is available in O(1).
 	const none = ^uint64(0)
-	min1 := make([]ZKey, n)
-	min2 := make([]ZKey, n)
-	arg1 := make([]uint64, n)
-	for v := range min1 {
+	s.min1 = graph.Grow(s.min1, n)
+	s.min2 = graph.Grow(s.min2, n)
+	s.arg1 = graph.Grow(s.arg1, n)
+	s.keys = graph.Grow(s.keys, len(edges))
+	min1, min2, arg1, keys := s.min1, s.min2, s.arg1, s.keys
+	for v := 0; v < n; v++ {
 		min1[v] = ZKey{none, none}
 		min2[v] = ZKey{none, none}
 		arg1[v] = none
 	}
-	keys := make([]ZKey, len(edges))
 	for idx, e := range edges {
 		k := ZKey{zOf(e), e.Key(n)}
 		keys[idx] = k
@@ -299,7 +367,7 @@ func LocalMinEdges(estar *graph.Graph, edges []graph.Edge, zOf func(graph.Edge) 
 			}
 		}
 	}
-	var out []graph.Edge
+	out := s.out[:0]
 	for idx, e := range edges {
 		k := keys[idx]
 		ok := true
@@ -317,6 +385,7 @@ func LocalMinEdges(estar *graph.Graph, edges []graph.Edge, zOf func(graph.Edge) 
 			out = append(out, e)
 		}
 	}
+	s.out = out
 	return out
 }
 
@@ -324,7 +393,13 @@ func LocalMinEdges(estar *graph.Graph, edges []graph.Edge, zOf func(graph.Edge) 
 // nodes of q (restricted to inQ) whose (z, id) is strictly smaller than
 // every q-neighbour's. The result is always independent in q.
 func LocalMinNodes(q *graph.Graph, inQ []bool, zOf func(graph.NodeID) uint64) []graph.NodeID {
-	var out []graph.NodeID
+	return LocalMinNodesInto(nil, q, inQ, zOf)
+}
+
+// LocalMinNodesInto is LocalMinNodes appending into dst[:0] (nil allocates),
+// for per-seed buffer reuse in the objective evaluations.
+func LocalMinNodesInto(dst []graph.NodeID, q *graph.Graph, inQ []bool, zOf func(graph.NodeID) uint64) []graph.NodeID {
+	out := dst[:0]
 	for v := 0; v < q.N(); v++ {
 		if !inQ[v] {
 			continue

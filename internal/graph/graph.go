@@ -12,6 +12,7 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -90,26 +91,41 @@ func (g *Graph) MaxDegree() int {
 }
 
 // Edges returns the canonical edge list, sorted by (U, V). The slice is
-// freshly allocated on every call.
+// freshly allocated on every call; round loops use EdgesAppend with a
+// recycled buffer instead.
 func (g *Graph) Edges() []Edge {
-	edges := make([]Edge, 0, g.m)
+	return g.EdgesAppend(make([]Edge, 0, g.m))
+}
+
+// EdgesAppend appends the canonical edge list, sorted by (U, V), to dst[:0]
+// and returns it (the Into-style variant of Edges for scratch reuse).
+func (g *Graph) EdgesAppend(dst []Edge) []Edge {
+	dst = dst[:0]
 	for u := 0; u < g.N(); u++ {
 		for _, v := range g.Neighbors(NodeID(u)) {
 			if NodeID(u) < v {
-				edges = append(edges, Edge{NodeID(u), v})
+				dst = append(dst, Edge{NodeID(u), v})
 			}
 		}
 	}
-	return edges
+	return dst
 }
 
 // Degrees returns the degree slice indexed by node.
 func (g *Graph) Degrees() []int {
-	d := make([]int, g.N())
-	for v := range d {
-		d[v] = g.Degree(NodeID(v))
+	return g.DegreesInto(make([]int, g.N()))
+}
+
+// DegreesInto fills dst (which must have length N) with the degree of each
+// node and returns it (the Into-style variant of Degrees for scratch reuse).
+func (g *Graph) DegreesInto(dst []int) []int {
+	if len(dst) != g.N() {
+		panic("graph: DegreesInto length mismatch")
 	}
-	return d
+	for v := range dst {
+		dst[v] = g.Degree(NodeID(v))
+	}
+	return dst
 }
 
 // Clone returns a deep copy (useful when callers want to retain a snapshot;
@@ -161,9 +177,21 @@ func (b *Builder) Build() *Graph {
 }
 
 // FromEdges builds a graph on n nodes from an edge list. Duplicates and self
-// loops are removed; the input slice is not modified.
+// loops are removed; the input slice is not modified. The graph is detached
+// from the build buffer (see CSR.detach), so holding it pins only the CSR
+// arrays it uses, not the build scratch.
 func FromEdges(n int, edges []Edge) *Graph {
-	canon := make([]Edge, 0, len(edges))
+	dst := new(CSR)
+	FromEdgesInto(n, edges, dst)
+	return dst.detach()
+}
+
+// FromEdgesInto is FromEdges writing into dst instead of allocating. The
+// returned graph aliases dst's storage (see CSR); the input slice is not
+// modified and must not alias dst's internal scratch. The result is
+// byte-identical to FromEdges for any prior contents of dst.
+func FromEdgesInto(n int, edges []Edge, dst *CSR) *Graph {
+	canon := Grow(dst.edges, len(edges))[:0]
 	for _, e := range edges {
 		if e.U == e.V {
 			continue
@@ -173,11 +201,15 @@ func FromEdges(n int, edges []Edge) *Graph {
 		}
 		canon = append(canon, e.Canon())
 	}
-	sort.Slice(canon, func(i, j int) bool {
-		if canon[i].U != canon[j].U {
-			return canon[i].U < canon[j].U
+	dst.edges = canon
+	// slices.SortFunc rather than sort.Slice: the generic sort allocates
+	// nothing, where the reflective one costs two heap objects per call —
+	// material here because the round loops rebuild graphs every iteration.
+	slices.SortFunc(canon, func(a, b Edge) int {
+		if a.U != b.U {
+			return int(a.U) - int(b.U)
 		}
-		return canon[i].V < canon[j].V
+		return int(a.V) - int(b.V)
 	})
 	// Deduplicate in place.
 	uniq := canon[:0]
@@ -186,7 +218,8 @@ func FromEdges(n int, edges []Edge) *Graph {
 			uniq = append(uniq, e)
 		}
 	}
-	deg := make([]int32, n+1)
+	deg := Grow(dst.offsets, n+1)
+	clear(deg)
 	for _, e := range uniq {
 		deg[e.U+1]++
 		deg[e.V+1]++
@@ -195,8 +228,9 @@ func FromEdges(n int, edges []Edge) *Graph {
 		deg[i+1] += deg[i]
 	}
 	offsets := deg
-	adj := make([]NodeID, offsets[n])
-	cursor := make([]int32, n)
+	adj := Grow(dst.adj, int(offsets[n]))
+	cursor := Grow(dst.cursor, n)
+	clear(cursor)
 	for _, e := range uniq {
 		adj[offsets[e.U]+cursor[e.U]] = e.V
 		cursor[e.U]++
@@ -205,12 +239,14 @@ func FromEdges(n int, edges []Edge) *Graph {
 	}
 	// Neighbour lists are already sorted because edges were sorted by (U,V)
 	// for the U side, but the V side receives entries ordered by U, which is
-	// sorted too. Sort defensively anyway: correctness beats micro-cost.
+	// sorted too. Sort defensively anyway (allocation-free slices.Sort):
+	// correctness beats micro-cost.
 	for v := 0; v < n; v++ {
-		nbrs := adj[offsets[v]:offsets[v+1]]
-		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		slices.Sort(adj[offsets[v]:offsets[v+1]])
 	}
-	return &Graph{offsets: offsets, adj: adj, m: len(uniq)}
+	dst.offsets, dst.adj, dst.cursor = offsets, adj, cursor
+	dst.g = Graph{offsets: offsets, adj: adj, m: len(uniq)}
+	return &dst.g
 }
 
 // Empty returns the graph with n nodes and no edges.

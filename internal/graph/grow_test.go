@@ -1,0 +1,15 @@
+package graph
+
+import "testing"
+
+func TestGrow(t *testing.T) {
+	b := make([]int, 4, 16)
+	g := Grow(b, 10)
+	if len(g) != 10 || &g[0] != &b[0] {
+		t.Fatal("Grow should reuse capacity")
+	}
+	g2 := Grow(b, 32)
+	if len(g2) != 32 {
+		t.Fatal("Grow should allocate when capacity is short")
+	}
+}

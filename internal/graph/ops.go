@@ -1,10 +1,50 @@
 package graph
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/parallel"
 )
+
+// CSR is a reusable destination buffer for the Into variants of the graph
+// rebuild operations (WithoutNodesInto, InducedNodesInto, SubgraphEdgesInto,
+// FromEdgesInto). Round loops keep two of them and ping-pong (see
+// internal/scratch.BufPair) so each rebuild reads the previous round's graph
+// while overwriting the buffer of the round before it, with zero
+// steady-state allocation. The zero value is ready to use.
+//
+// The *Graph returned by an Into call aliases the buffer's storage and is
+// valid only until the next Into call on the same buffer; callers that need
+// a longer-lived snapshot use the allocating wrappers (WithoutNodes,
+// InducedNodes, SubgraphEdges, FromEdges), which are Into with a fresh
+// buffer.
+type CSR struct {
+	offsets []int32
+	adj     []NodeID
+	edges   []Edge  // canonicalised edge scratch for FromEdgesInto
+	cursor  []int32 // per-node write cursor for FromEdgesInto
+	g       Graph
+}
+
+// detach returns the buffer's graph as a standalone value, so the one-shot
+// allocating wrappers hand out graphs that pin only the offsets/adj arrays
+// they reference — not the buffer struct with its edge and cursor scratch.
+func (c *CSR) detach() *Graph {
+	g := c.g
+	return &g
+}
+
+// Grow returns buf with length n, reusing the backing array when capacity
+// allows. Contents are unspecified — callers must overwrite the full range.
+// It is the sizing helper behind every Into-style destination buffer in
+// this repository (the CSR passes here, core.EdgeMinScratch, ...); it lives
+// in this package because graph sits at the bottom of the import graph.
+func Grow[T any](buf []T, n int) []T {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]T, n)
+}
 
 // WithoutNodes returns a graph on the same id space in which every node with
 // remove[v] == true has been isolated (all incident edges dropped). Node ids
@@ -17,24 +57,40 @@ func (g *Graph) WithoutNodes(remove []bool) *Graph { return g.WithoutNodesW(remo
 // on up to `workers` host workers. The result is identical at any worker
 // count.
 func (g *Graph) WithoutNodesW(remove []bool, workers int) *Graph {
+	dst := new(CSR)
+	g.WithoutNodesInto(remove, workers, dst)
+	return dst.detach()
+}
+
+// WithoutNodesInto is WithoutNodesW writing into dst instead of allocating.
+// The returned graph aliases dst's storage (see CSR). The result is
+// byte-identical to WithoutNodesW at any worker count and for any prior
+// contents of dst.
+func (g *Graph) WithoutNodesInto(remove []bool, workers int, dst *CSR) *Graph {
 	if len(remove) != g.N() {
 		panic("graph: WithoutNodes mask length mismatch")
 	}
-	return g.filterCSR(workers, func(u, v NodeID) bool { return !remove[u] && !remove[v] })
+	return g.filterCSRInto(dst, workers, func(u, v NodeID) bool { return !remove[u] && !remove[v] })
 }
 
-// filterCSR builds the subgraph keeping exactly the edges {u,v} with
-// keep(u, v) == true, where keep must be symmetric. It filters the CSR arrays
-// directly — two O(n+m) passes over cache-friendly contiguous slices, no
-// sorting — instead of round-tripping through an edge list the way FromEdges
-// does. Pass 1 counts surviving neighbours per node (sharded), a serial
-// prefix sum lays out the new offsets, and pass 2 copies surviving
+// filterCSRInto builds into dst the subgraph keeping exactly the edges {u,v}
+// with keep(u, v) == true, where keep must be symmetric. It filters the CSR
+// arrays directly — two O(n+m) passes over cache-friendly contiguous slices,
+// no sorting — instead of round-tripping through an edge list the way
+// FromEdges does. Pass 1 counts surviving neighbours per node (sharded), a
+// serial prefix sum lays out the new offsets, and pass 2 copies surviving
 // neighbours into place (sharded, each node writing only its own range), so
 // the result is deterministic at any worker count and neighbour lists stay
-// sorted because the source lists are.
-func (g *Graph) filterCSR(workers int, keep func(u, v NodeID) bool) *Graph {
+// sorted because the source lists are. Every destination slot is written, so
+// a dirty dst (even one from a previous, larger graph) cannot leak into the
+// result.
+func (g *Graph) filterCSRInto(dst *CSR, workers int, keep func(u, v NodeID) bool) *Graph {
+	if g == &dst.g {
+		panic("graph: Into destination buffer backs the source graph")
+	}
 	n := g.N()
-	offsets := make([]int32, n+1)
+	offsets := Grow(dst.offsets, n+1)
+	offsets[0] = 0
 	parallel.ForEach(workers, n, func(v int) {
 		cnt := int32(0)
 		for _, u := range g.Neighbors(NodeID(v)) {
@@ -47,7 +103,7 @@ func (g *Graph) filterCSR(workers int, keep func(u, v NodeID) bool) *Graph {
 	for v := 0; v < n; v++ {
 		offsets[v+1] += offsets[v]
 	}
-	adj := make([]NodeID, offsets[n])
+	adj := Grow(dst.adj, int(offsets[n]))
 	parallel.ForEach(workers, n, func(v int) {
 		w := offsets[v]
 		for _, u := range g.Neighbors(NodeID(v)) {
@@ -57,19 +113,31 @@ func (g *Graph) filterCSR(workers int, keep func(u, v NodeID) bool) *Graph {
 			}
 		}
 	})
-	return &Graph{offsets: offsets, adj: adj, m: int(offsets[n]) / 2}
+	dst.offsets, dst.adj = offsets, adj
+	dst.g = Graph{offsets: offsets, adj: adj, m: int(offsets[n]) / 2}
+	return &dst.g
 }
 
 // SubgraphEdges returns the graph on the same id space containing exactly
 // the given edges. Every edge must be an edge of g (checked), so the result
 // is a subgraph.
 func (g *Graph) SubgraphEdges(edges []Edge) *Graph {
+	dst := new(CSR)
+	g.SubgraphEdgesInto(edges, dst)
+	return dst.detach()
+}
+
+// SubgraphEdgesInto is SubgraphEdges writing into dst instead of allocating.
+// The returned graph aliases dst's storage (see CSR). edges must not alias
+// dst's internal scratch (i.e. must not come from a previous FromEdgesInto
+// on the same buffer).
+func (g *Graph) SubgraphEdgesInto(edges []Edge, dst *CSR) *Graph {
 	for _, e := range edges {
 		if !g.HasEdge(e.U, e.V) {
 			panic("graph: SubgraphEdges edge not present in graph")
 		}
 	}
-	return FromEdges(g.N(), edges)
+	return FromEdgesInto(g.N(), edges, dst)
 }
 
 // InducedNodes returns the subgraph induced on the nodes with keep[v]==true,
@@ -81,10 +149,19 @@ func (g *Graph) InducedNodes(keep []bool) *Graph { return g.InducedNodesW(keep, 
 // on up to `workers` host workers. The result is identical at any worker
 // count.
 func (g *Graph) InducedNodesW(keep []bool, workers int) *Graph {
+	dst := new(CSR)
+	g.InducedNodesInto(keep, workers, dst)
+	return dst.detach()
+}
+
+// InducedNodesInto is InducedNodesW writing into dst instead of allocating.
+// The returned graph aliases dst's storage (see CSR). The result is
+// byte-identical to InducedNodesW for any prior contents of dst.
+func (g *Graph) InducedNodesInto(keep []bool, workers int, dst *CSR) *Graph {
 	if len(keep) != g.N() {
 		panic("graph: InducedNodes mask length mismatch")
 	}
-	return g.filterCSR(workers, func(u, v NodeID) bool { return keep[u] && keep[v] })
+	return g.filterCSRInto(dst, workers, func(u, v NodeID) bool { return keep[u] && keep[v] })
 }
 
 // LineGraph returns the line graph L(G) together with the canonical edge
@@ -100,9 +177,10 @@ func (g *Graph) LineGraph() (*Graph, []Edge) {
 	}
 	b := NewBuilder(len(edges))
 	// Edges incident to the same node are pairwise adjacent in L(G).
+	var ids []int32
 	for v := 0; v < g.N(); v++ {
 		nbrs := g.Neighbors(NodeID(v))
-		ids := make([]int32, len(nbrs))
+		ids = Grow(ids, len(nbrs))
 		for i, u := range nbrs {
 			ids[i] = index[Edge{NodeID(v), u}.Canon()]
 		}
@@ -147,29 +225,58 @@ func (g *Graph) Square() *Graph {
 	return b.Build()
 }
 
+// BallScratch is the reusable working state of BallInto: a visited table
+// (touched entries are restored after each call) and the ball buffer.
+// Per-node ball enumeration is the dominant preprocessing cost of the
+// Section 5 path, so callers scanning many centres keep one scratch per
+// worker instead of paying a map allocation per centre. The zero value is
+// ready to use.
+type BallScratch struct {
+	dist []int32 // -1 = unvisited; sized lazily to the graph
+	ball []NodeID
+}
+
 // Ball returns the set of nodes within distance r of v (including v),
 // sorted. For r = 2 this is the "2-hop neighbourhood" whose size the
 // algorithms must bound by the machine space S.
 func (g *Graph) Ball(v NodeID, r int) []NodeID {
-	dist := map[NodeID]int{v: 0}
-	frontier := []NodeID{v}
-	for d := 0; d < r && len(frontier) > 0; d++ {
-		var next []NodeID
-		for _, u := range frontier {
-			for _, w := range g.Neighbors(u) {
-				if _, ok := dist[w]; !ok {
-					dist[w] = d + 1
-					next = append(next, w)
+	return g.BallInto(new(BallScratch), v, r)
+}
+
+// BallInto is Ball drawing all working state from s. The returned slice
+// aliases s.ball and is valid until the next call with the same scratch.
+func (g *Graph) BallInto(s *BallScratch, v NodeID, r int) []NodeID {
+	n := g.N()
+	if len(s.dist) < n {
+		s.dist = make([]int32, n)
+		for i := range s.dist {
+			s.dist[i] = -1
+		}
+	}
+	// BFS over the ball buffer itself: [head, tail) is the current
+	// frontier, appends build the next one.
+	ball := append(s.ball[:0], v)
+	s.dist[v] = 0
+	head := 0
+	for d := 0; d < r; d++ {
+		tail := len(ball)
+		if head == tail {
+			break
+		}
+		for ; head < tail; head++ {
+			for _, w := range g.Neighbors(ball[head]) {
+				if s.dist[w] < 0 {
+					s.dist[w] = int32(d + 1)
+					ball = append(ball, w)
 				}
 			}
 		}
-		frontier = next
 	}
-	ball := make([]NodeID, 0, len(dist))
-	for u := range dist {
-		ball = append(ball, u)
+	for _, u := range ball {
+		s.dist[u] = -1
 	}
-	sort.Slice(ball, func(i, j int) bool { return ball[i] < ball[j] })
+	slices.Sort(ball)
+	s.ball = ball
 	return ball
 }
 
@@ -177,10 +284,11 @@ func (g *Graph) Ball(v NodeID, r int) []NodeID {
 // uses it to demonstrate that 2-hop balls overflow machine space before
 // sparsification and fit after.
 func (g *Graph) BallSizeMax(r int) int {
+	s := new(BallScratch)
 	max := 0
 	for v := 0; v < g.N(); v++ {
-		if s := len(g.Ball(NodeID(v), r)); s > max {
-			max = s
+		if l := len(g.BallInto(s, NodeID(v), r)); l > max {
+			max = l
 		}
 	}
 	return max

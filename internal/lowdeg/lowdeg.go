@@ -34,6 +34,7 @@ import (
 	"repro/internal/hashfam"
 	"repro/internal/intmath"
 	"repro/internal/parallel"
+	"repro/internal/scratch"
 	"repro/internal/simcost"
 )
 
@@ -111,7 +112,30 @@ func Suitable(g *graph.Graph, p core.Params, model *simcost.Model) bool {
 // MIS computes a maximal independent set with the stage-compressed
 // algorithm. Intended for Δ^4 <= space budget (see Suitable); it remains
 // correct beyond that regime but the model will record space violations.
+// It is MISIn with a private scratch context.
 func MIS(g *graph.Graph, p core.Params, model *simcost.Model) *Result {
+	return MISIn(scratch.New(), g, p, model)
+}
+
+// lowdegEval is the per-worker pooled state of one candidate-seed objective
+// evaluation: the I_h buffer, the removed-node mask of removedEdgesMasked
+// (touched entries are reset after each use), and a permanent z-closure
+// reading the current seed through the seed field (so an evaluation
+// allocates nothing).
+type lowdegEval struct {
+	ih     []graph.NodeID
+	remove []bool
+	seed   []uint64
+	zf     func(graph.NodeID) uint64
+}
+
+// MISIn is MIS drawing every per-phase buffer from sc: the removal mask and
+// the shrinking graph, which ping-pongs between sc's two loop CSR buffers
+// instead of allocating a fresh graph per phase; per-seed selection state
+// inside the objective is pooled per worker. The output is bit-identical to
+// MIS at any worker count and for any prior state of sc; sc is Reset at
+// every phase boundary and left Reset on return.
+func MISIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Model) *Result {
 	p.Validate()
 	n := g.N()
 	res := &Result{}
@@ -142,11 +166,20 @@ func MIS(g *graph.Graph, p core.Params, model *simcost.Model) *Result {
 	fam := hashfam.New(minField, 2)
 
 	cur := g
+	// Solve-lifetime state stays off the arena (the arena is Reset each
+	// phase, these masks persist across phases).
 	alive := make([]bool, n)
 	for v := range alive {
 		alive[v] = true
 	}
 	inMIS := make([]bool, n)
+	evalPool := scratch.NewPerWorker(func() *lowdegEval {
+		ev := &lowdegEval{remove: make([]bool, n)}
+		ev.zf = func(v graph.NodeID) uint64 {
+			return fam.Eval(ev.seed, uint64(col.Colors[v]))
+		}
+		return ev
+	})
 
 	joinIsolated := func() {
 		for v := 0; v < n; v++ {
@@ -167,14 +200,13 @@ func MIS(g *graph.Graph, p core.Params, model *simcost.Model) *Result {
 		for phase := 1; phase <= ell && cur.M() > 0; phase++ {
 			st := PhaseStats{Stage: stage, Phase: phase, EdgesBefore: cur.M()}
 
-			zOf := func(seed []uint64) func(graph.NodeID) uint64 {
-				return func(v graph.NodeID) uint64 {
-					return fam.Eval(seed, uint64(col.Colors[v]))
-				}
-			}
 			objective := func(seed []uint64) int64 {
-				ih := core.LocalMinNodes(cur, alive, zOf(seed))
-				return int64(removedEdges(cur, ih))
+				ev := evalPool.Get()
+				ev.seed = seed
+				ev.ih = core.LocalMinNodesInto(ev.ih, cur, alive, ev.zf)
+				removed := int64(removedEdgesMasked(cur, ev.ih, ev.remove))
+				evalPool.Put(ev)
+				return removed
 			}
 			// Luby's pairwise analysis guarantees E[removed] >= |E|/108
 			// (the Lemma 13 constant); demand the configured fraction.
@@ -194,9 +226,12 @@ func MIS(g *graph.Graph, p core.Params, model *simcost.Model) *Result {
 			st.SeedsTried = search.SeedsTried
 			st.SeedFound = search.Found
 
-			ih := core.LocalMinNodes(cur, alive, zOf(search.Seed))
+			fin := evalPool.Get()
+			fin.seed = search.Seed
+			ih := core.LocalMinNodesInto(sc.NodeIDsCap(n), cur, alive, fin.zf)
+			evalPool.Put(fin)
 			st.Selected = len(ih)
-			remove := make([]bool, n)
+			remove := sc.Bools(n)
 			for _, v := range ih {
 				inMIS[v] = true
 				alive[v] = false
@@ -211,11 +246,12 @@ func MIS(g *graph.Graph, p core.Params, model *simcost.Model) *Result {
 					}
 				}
 			}
-			cur = cur.WithoutNodesW(remove, p.Workers())
+			cur = cur.WithoutNodesInto(remove, p.Workers(), sc.Loop().Next())
 			st.EdgesAfter = cur.M()
 			st.RemovedFraction = float64(st.EdgesBefore-st.EdgesAfter) / float64(st.EdgesBefore)
 			res.Phases = append(res.Phases, st)
 			res.RoundsExecuted += 3 // evaluate + aggregate + apply
+			sc.Reset()
 		}
 		// Maintain r-hop neighbourhoods for the next stage (§5.2.2, one
 		// round: removed nodes notify their r-hop balls).
@@ -244,10 +280,15 @@ type MatchingResult struct {
 // MaximalMatching computes a maximal matching by simulating MIS on the line
 // graph (§5: "we can perform maximal matching by simulating MIS on the line
 // graph of the input graph", feasible since Δ(L(G)) <= 2Δ-2 stays small in
-// this regime).
+// this regime). It is MaximalMatchingIn with a private scratch context.
 func MaximalMatching(g *graph.Graph, p core.Params, model *simcost.Model) *MatchingResult {
+	return MaximalMatchingIn(scratch.New(), g, p, model)
+}
+
+// MaximalMatchingIn is MaximalMatching running the line-graph MIS on sc.
+func MaximalMatchingIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Model) *MatchingResult {
 	lg, edges := g.LineGraph()
-	misRes := MIS(lg, p, model)
+	misRes := MISIn(sc, lg, p, model)
 	out := &MatchingResult{MIS: misRes}
 	for _, v := range misRes.IndependentSet {
 		out.Matching = append(out.Matching, edges[v])
@@ -258,26 +299,32 @@ func MaximalMatching(g *graph.Graph, p core.Params, model *simcost.Model) *Match
 // maxBallWords returns the largest r-hop ball size in words (2 per edge
 // endpoint entry), the quantity a machine must hold after collection. Each
 // ball enumeration is independent, so the scan map-reduces over vertex
-// shards (this is the dominant preprocessing cost of the Section 5 path).
+// shards (this is the dominant preprocessing cost of the Section 5 path);
+// each worker reuses one BFS scratch across its centres.
 func maxBallWords(g *graph.Graph, r, workers int) int {
+	pool := scratch.NewPerWorker(func() *graph.BallScratch { return new(graph.BallScratch) })
 	return parallel.MaxInt(workers, g.N(), func(lo, hi int) int {
+		bs := pool.Get()
 		max := 0
 		for v := lo; v < hi; v++ {
 			words := 0
-			for _, u := range g.Ball(graph.NodeID(v), r) {
+			for _, u := range g.BallInto(bs, graph.NodeID(v), r) {
 				words += 1 + g.Degree(u)
 			}
 			if words > max {
 				max = words
 			}
 		}
+		pool.Put(bs)
 		return max
 	})
 }
 
-// removedEdges counts edges incident to ih ∪ N(ih) in cur.
-func removedEdges(cur *graph.Graph, ih []graph.NodeID) int {
-	remove := make([]bool, cur.N())
+// removedEdgesMasked counts edges incident to ih ∪ N(ih) in cur, using the
+// caller's mask (length >= cur.N(), all-false on entry) as working state and
+// restoring it to all-false before returning — that is what lets the seed
+// search pool one mask per worker across thousands of evaluations.
+func removedEdgesMasked(cur *graph.Graph, ih []graph.NodeID, remove []bool) int {
 	for _, v := range ih {
 		remove[v] = true
 		for _, u := range cur.Neighbors(v) {
@@ -290,6 +337,12 @@ func removedEdges(cur *graph.Graph, ih []graph.NodeID) int {
 			if graph.NodeID(u) < v && (remove[u] || remove[v]) {
 				count++
 			}
+		}
+	}
+	for _, v := range ih {
+		remove[v] = false
+		for _, u := range cur.Neighbors(v) {
+			remove[u] = false
 		}
 	}
 	return count

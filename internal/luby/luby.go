@@ -11,6 +11,7 @@ import (
 	"repro/internal/detrand"
 	"repro/internal/graph"
 	"repro/internal/parallel"
+	"repro/internal/scratch"
 )
 
 // RoundStats records one randomized round.
@@ -39,6 +40,14 @@ func MIS(g *graph.Graph, src *detrand.Source) *MISResult { return MISW(g, src, 0
 // vertex's local-minimum test reads only the immutable round state (z and
 // the current graph), so the output is identical at any worker count.
 func MISW(g *graph.Graph, src *detrand.Source, workers int) *MISResult {
+	return MISIn(scratch.New(), g, src, workers)
+}
+
+// MISIn is MISW drawing the per-round z table and removal mask from sc and
+// ping-ponging the shrinking graph between sc's two loop CSR buffers. The
+// output is identical to MISW for any prior state of sc; sc is Reset at
+// every round boundary and left Reset on return.
+func MISIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source, workers int) *MISResult {
 	n := g.N()
 	res := &MISResult{}
 	cur := g
@@ -60,7 +69,7 @@ func MISW(g *graph.Graph, src *detrand.Source, workers int) *MISResult {
 			break
 		}
 		st := RoundStats{Round: round, EdgesBefore: cur.M()}
-		z := make([]uint64, n)
+		z := sc.Uint64s(n)
 		for v := 0; v < n; v++ {
 			if alive[v] {
 				z[v] = src.Uint64()
@@ -78,7 +87,7 @@ func MISW(g *graph.Graph, src *detrand.Source, workers int) *MISResult {
 			}
 			sel[v] = true
 		})
-		remove := make([]bool, n)
+		remove := sc.Bools(n)
 		for v := 0; v < n; v++ {
 			if sel[v] {
 				inMIS[v] = true
@@ -98,9 +107,10 @@ func MISW(g *graph.Graph, src *detrand.Source, workers int) *MISResult {
 				}
 			}
 		}
-		cur = cur.WithoutNodesW(remove, workers)
+		cur = cur.WithoutNodesInto(remove, workers, sc.Loop().Next())
 		st.EdgesAfter = cur.M()
 		res.Rounds = append(res.Rounds, st)
+		sc.Reset()
 	}
 	for v := 0; v < n; v++ {
 		if inMIS[v] {
@@ -129,17 +139,26 @@ func MaximalMatching(g *graph.Graph, src *detrand.Source) *MatchingResult {
 // only the round's immutable z table, and winners are collected in edge
 // order, so the output is identical at any worker count.
 func MaximalMatchingW(g *graph.Graph, src *detrand.Source, workers int) *MatchingResult {
+	return MaximalMatchingIn(scratch.New(), g, src, workers)
+}
+
+// MaximalMatchingIn is MaximalMatchingW drawing the per-round edge list and
+// masks from sc and ping-ponging the shrinking graph between sc's two loop
+// CSR buffers. The output is identical to MaximalMatchingW for any prior
+// state of sc; sc is Reset at every round boundary and left Reset on
+// return.
+func MaximalMatchingIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source, workers int) *MatchingResult {
 	res := &MatchingResult{}
 	cur := g
 	n := g.N()
 	for round := 1; cur.M() > 0; round++ {
 		st := RoundStats{Round: round, EdgesBefore: cur.M()}
-		edges := cur.Edges()
+		edges := cur.EdgesAppend(sc.EdgesCap(cur.M()))
 		z := make(map[graph.Edge]uint64, len(edges))
 		for _, e := range edges {
 			z[e] = src.Uint64()
 		}
-		isMin := make([]bool, len(edges))
+		isMin := sc.Bools(len(edges))
 		parallel.ForEach(workers, len(edges), func(idx int) {
 			e := edges[idx]
 			ze := z[e]
@@ -157,7 +176,7 @@ func MaximalMatchingW(g *graph.Graph, src *detrand.Source, workers int) *Matchin
 			}
 			isMin[idx] = true
 		})
-		matched := make([]bool, n)
+		matched := sc.Bools(n)
 		var picked []graph.Edge
 		for idx, e := range edges {
 			if isMin[idx] {
@@ -170,9 +189,10 @@ func MaximalMatchingW(g *graph.Graph, src *detrand.Source, workers int) *Matchin
 		}
 		st.Selected = len(picked)
 		res.Matching = append(res.Matching, picked...)
-		cur = cur.WithoutNodesW(matched, workers)
+		cur = cur.WithoutNodesInto(matched, workers, sc.Loop().Next())
 		st.EdgesAfter = cur.M()
 		res.Rounds = append(res.Rounds, st)
+		sc.Reset()
 	}
 	return res
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/parallel"
+	"repro/internal/scratch"
 	"repro/internal/simcost"
 	"repro/internal/sparsify"
 )
@@ -50,6 +51,15 @@ type IterStats struct {
 	Threshold        int64
 }
 
+// mmEval is the per-worker pooled state of one candidate-seed objective
+// evaluation: the local-minimum selection scratch plus a permanent
+// z-closure reading the current seed through the seed field.
+type mmEval struct {
+	lm   core.EdgeMinScratch
+	seed []uint64
+	zf   func(graph.Edge) uint64
+}
+
 // Result is the outcome of the deterministic maximal matching.
 type Result struct {
 	Matching   []graph.Edge
@@ -62,20 +72,46 @@ type Result struct {
 
 // Deterministic computes a maximal matching of g with the derandomized
 // algorithm of Section 3. The model, when non-nil, is charged all MPC
-// rounds and validates all machine-space claims.
+// rounds and validates all machine-space claims. It is DeterministicIn with
+// a private scratch context; repeated solvers (the Engine) share one.
 func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result {
+	return DeterministicIn(scratch.New(), g, p, model)
+}
+
+// DeterministicIn is Deterministic drawing every per-round buffer from sc:
+// sparsification state, the E* edge list, the matched-node mask, and the
+// shrinking outer-loop graph, which ping-pongs between sc's two loop CSR
+// buffers instead of allocating a fresh graph per iteration. Per-seed
+// selection state inside the objective is pooled per worker. The output is
+// bit-identical to Deterministic at any worker count and for any prior
+// state of sc; sc is Reset at every round boundary and left Reset on
+// return.
+func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Model) *Result {
 	p.Validate()
 	res := &Result{}
 	cur := g
 	n := g.N()
 	fam := core.PairwiseFamily(n)
+	// One selection scratch per worker serves every candidate-seed
+	// evaluation of every round (buffers are sized by round 1, the
+	// largest). Each holds its z-closure permanently and swaps the seed it
+	// reads through the Seed field, so an evaluation allocates nothing —
+	// a per-seed closure would otherwise dominate the allocation count of
+	// the whole solve.
+	lmPool := scratch.NewPerWorker(func() *mmEval {
+		ev := &mmEval{}
+		ev.zf = func(e graph.Edge) uint64 {
+			return fam.Eval(ev.seed, core.SlotKey(e.Key(n), 0, n))
+		}
+		return ev
+	})
 
 	for iter := 1; cur.M() > 0; iter++ {
 		st := IterStats{Iteration: iter, EdgesBefore: cur.M()}
 
-		sp := sparsify.SparsifyEdges(cur, p, model)
+		sp := sparsify.SparsifyEdgesIn(sc, cur, p, model)
 		estar := sp.EStar
-		estarEdges := estar.Edges()
+		estarEdges := estar.EdgesAppend(sc.EdgesCap(estar.M()))
 		st.ClassIndex = sp.ClassIndex
 		st.Stages = len(sp.Stages)
 		st.SparsifyFallback = sp.UsedFallback
@@ -90,13 +126,10 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 
 		// Derandomized Luby step on E* (Section 3.3).
 		deg := sp.Deg
-		zOf := func(seed []uint64) func(graph.Edge) uint64 {
-			return func(e graph.Edge) uint64 {
-				return fam.Eval(seed, core.SlotKey(e.Key(n), 0, n))
-			}
-		}
 		objective := func(seed []uint64) int64 {
-			eh := core.LocalMinEdges(estar, estarEdges, zOf(seed))
+			ev := lmPool.Get()
+			ev.seed = seed
+			eh := core.LocalMinEdgesInto(&ev.lm, estar, estarEdges, ev.zf)
 			var value int64
 			for _, e := range eh {
 				if sp.B[e.U] {
@@ -106,6 +139,7 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 					value += int64(deg[e.V])
 				}
 			}
+			lmPool.Put(ev)
 			return value
 		}
 		// Lemma 13 ⇒ E_h[Σ_{v∈N_h} d(v)] >= Σ_{v∈B} d(v)/109; we demand a
@@ -127,7 +161,9 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 		st.SeedFound = search.Found
 		st.ObjectiveValue = search.Value
 
-		eh := core.LocalMinEdges(estar, estarEdges, zOf(search.Seed))
+		ev := lmPool.Get()
+		ev.seed = search.Seed
+		eh := core.LocalMinEdgesInto(&ev.lm, estar, estarEdges, ev.zf)
 		if len(eh) == 0 {
 			// Unconditional-progress fallback: match the smallest-key edge.
 			eh = []graph.Edge{smallestEdge(cur)}
@@ -136,17 +172,19 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 		st.MatchedEdges = len(eh)
 		res.Matching = append(res.Matching, eh...)
 
-		matched := make([]bool, n)
+		matched := sc.Bools(n)
 		for _, e := range eh {
 			matched[e.U] = true
 			matched[e.V] = true
 		}
-		cur = cur.WithoutNodesW(matched, p.Workers())
+		lmPool.Put(ev)
+		cur = cur.WithoutNodesInto(matched, p.Workers(), sc.Loop().Next())
 		model.ChargeScan("mm.apply")
 
 		st.EdgesAfter = cur.M()
 		st.RemovedFraction = float64(st.EdgesBefore-st.EdgesAfter) / float64(st.EdgesBefore)
 		res.Iterations = append(res.Iterations, st)
+		sc.Reset()
 	}
 	return res
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/condexp"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/scratch"
 	"repro/internal/simcost"
 	"repro/internal/sparsify"
 )
@@ -57,8 +58,31 @@ type Result struct {
 }
 
 // Deterministic computes a maximal independent set of g with the
-// derandomized algorithm of Section 4.
+// derandomized algorithm of Section 4. It is DeterministicIn with a private
+// scratch context; repeated solvers (the Engine) share one.
 func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result {
+	return DeterministicIn(scratch.New(), g, p, model)
+}
+
+// misEval is the per-worker pooled state of one candidate-seed objective
+// evaluation: the I_h membership mask (touched entries are reset after each
+// use), the I_h node buffer, and a permanent z-closure reading the current
+// seed through the seed field (so an evaluation allocates nothing).
+type misEval struct {
+	inIh []bool
+	ih   []graph.NodeID
+	seed []uint64
+	zf   func(graph.NodeID) uint64
+}
+
+// DeterministicIn is Deterministic drawing every per-round buffer from sc:
+// sparsification state, the flattened N_v tables, the removal mask, and the
+// shrinking outer-loop graph, which ping-pongs between sc's two loop CSR
+// buffers. Per-seed selection state inside the objective is pooled per
+// worker. The output is bit-identical to Deterministic at any worker count
+// and for any prior state of sc; sc is Reset at every round boundary and
+// left Reset on return.
+func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Model) *Result {
 	p.Validate()
 	n := g.N()
 	res := &Result{}
@@ -66,6 +90,8 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 		return res
 	}
 	cur := g
+	// Solve-lifetime state stays off the arena: the arena is Reset each
+	// round, while these masks accumulate across rounds.
 	alive := make([]bool, n)
 	for v := range alive {
 		alive[v] = true
@@ -73,6 +99,13 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 	inMIS := make([]bool, n)
 	fam := core.PairwiseFamily(n)
 	gamma := core.NewDegreeClasses(n, p.InvDelta).GroupSize()
+	evalPool := scratch.NewPerWorker(func() *misEval {
+		ev := &misEval{inIh: make([]bool, n)}
+		ev.zf = func(v graph.NodeID) uint64 {
+			return fam.Eval(ev.seed, core.SlotKey(uint64(v), 0, n))
+		}
+		return ev
+	})
 
 	joinIsolated := func(st *IterStats) {
 		for v := 0; v < n; v++ {
@@ -96,44 +129,48 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 			break
 		}
 
-		sp := sparsify.SparsifyNodes(cur, p, model)
+		sp := sparsify.SparsifyNodesIn(sc, cur, p, model)
 		q := sp.QGraph
 		st.ClassIndex = sp.ClassIndex
 		st.Stages = len(sp.Stages)
 		st.SparsifyFallback = sp.UsedFallback
-		st.QSize = len(qNodes(sp.Q))
+		st.QSize = sparsify.CountMask(sp.Q)
 		st.QMaxDegree = q.MaxDegree()
 
 		// N_v construction (Section 4.3): up to γ of v's Q'-neighbours (the
 		// smallest ids — "an arbitrary subset" — for determinism), plus
-		// their Q'-neighbourhoods on v's machine.
-		nvOf := make([][]graph.NodeID, 0, n)
-		nvOwner := make([]graph.NodeID, 0, n)
+		// their Q'-neighbourhoods on v's machine. The per-owner lists are
+		// flattened into one arena-backed array with an offsets table so a
+		// round costs no per-node allocations.
+		nvFlat := sc.NodeIDsCap(2 * cur.M())
+		nvStart := sc.IntsCap(n + 1)
+		nvOwner := sc.NodeIDsCap(n)
+		nvStart = append(nvStart, 0)
 		maxWords := 0
 		for v := 0; v < n; v++ {
 			if !sp.B[v] {
 				continue
 			}
-			var nv []graph.NodeID
+			lo := len(nvFlat)
 			for _, u := range cur.Neighbors(graph.NodeID(v)) {
 				if sp.Q[u] {
-					nv = append(nv, u)
-					if len(nv) == gamma {
+					nvFlat = append(nvFlat, u)
+					if len(nvFlat)-lo == gamma {
 						break
 					}
 				}
 			}
-			if len(nv) == 0 {
+			if len(nvFlat) == lo {
 				continue
 			}
-			words := len(nv)
-			for _, u := range nv {
+			words := len(nvFlat) - lo
+			for _, u := range nvFlat[lo:] {
 				words += q.Degree(u)
 			}
 			if words > maxWords {
 				maxWords = words
 			}
-			nvOf = append(nvOf, nv)
+			nvStart = append(nvStart, len(nvFlat))
 			nvOwner = append(nvOwner, graph.NodeID(v))
 		}
 		st.MaxMachineWords = maxWords
@@ -141,26 +178,29 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 		model.ChargeRounds(2, "mis.collect")
 
 		deg := sp.Deg
-		zOf := func(seed []uint64) func(graph.NodeID) uint64 {
-			return func(v graph.NodeID) uint64 {
-				return fam.Eval(seed, core.SlotKey(uint64(v), 0, n))
-			}
-		}
 		objective := func(seed []uint64) int64 {
-			ih := core.LocalMinNodes(q, sp.Q, zOf(seed))
-			inIh := make([]bool, n)
+			ev := evalPool.Get()
+			ev.seed = seed
+			ih := core.LocalMinNodesInto(ev.ih, q, sp.Q, ev.zf)
+			ev.ih = ih
 			for _, v := range ih {
-				inIh[v] = true
+				ev.inIh[v] = true
 			}
 			var value int64
-			for t, nv := range nvOf {
-				for _, u := range nv {
-					if inIh[u] {
+			for t := range nvOwner {
+				for _, u := range nvFlat[nvStart[t]:nvStart[t+1]] {
+					if ev.inIh[u] {
 						value += int64(deg[nvOwner[t]])
 						break
 					}
 				}
 			}
+			// Reset only the touched mask entries so the pooled buffer is
+			// clean for the next evaluation at O(|I_h|) cost.
+			for _, v := range ih {
+				ev.inIh[v] = false
+			}
+			evalPool.Put(ev)
 			return value
 		}
 		// Lemma 21 ⇒ E[Σ_{v∈N_h} d(v)] >= 0.01δ·Σ_{v∈B} d(v).
@@ -181,9 +221,12 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 		st.SeedFound = search.Found
 		st.ObjectiveValue = search.Value
 
-		ih := core.LocalMinNodes(q, sp.Q, zOf(search.Seed))
+		fin := evalPool.Get()
+		fin.seed = search.Seed
+		ih := core.LocalMinNodesInto(sc.NodeIDsCap(n), q, sp.Q, fin.zf)
+		evalPool.Put(fin)
 		st.Selected = len(ih)
-		remove := make([]bool, n)
+		remove := sc.Bools(n)
 		for _, v := range ih {
 			inMIS[v] = true
 			alive[v] = false
@@ -200,7 +243,7 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 				}
 			}
 		}
-		cur = cur.WithoutNodesW(remove, p.Workers())
+		cur = cur.WithoutNodesInto(remove, p.Workers(), sc.Loop().Next())
 		model.ChargeScan("mis.apply")
 
 		st.EdgesAfter = cur.M()
@@ -208,6 +251,7 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 			st.RemovedFraction = float64(st.EdgesBefore-st.EdgesAfter) / float64(st.EdgesBefore)
 		}
 		res.Iterations = append(res.Iterations, st)
+		sc.Reset()
 	}
 
 	// Collect the isolated joins performed before the loop exited.
@@ -218,14 +262,4 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 		}
 	}
 	return res
-}
-
-func qNodes(mask []bool) []graph.NodeID {
-	var out []graph.NodeID
-	for v, in := range mask {
-		if in {
-			out = append(out, graph.NodeID(v))
-		}
-	}
-	return out
 }

@@ -21,7 +21,7 @@ package mpc
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/parallel"
 )
@@ -109,22 +109,34 @@ type Cluster struct {
 	inboxes [][][]uint64
 	stats   Stats
 	workers int
+	// Per-round scratch, sized once at construction and reused every round
+	// so a multi-round simulation is allocation-flat: the machine contexts
+	// (reset in place) and the previous round's inbox table (truncated and
+	// refilled as the next round's delivery target).
+	ctxs      []*MachineCtx
+	spareInbx [][][]uint64
 }
 
 // NewCluster returns a cluster with empty stores and inboxes.
 func NewCluster(cfg Config) *Cluster {
+	c := &Cluster{
+		cfg:     cfg,
+		workers: parallel.Workers(cfg.Workers),
+	}
 	if cfg.Machines <= 0 {
 		panic("mpc: Machines must be positive")
 	}
 	if cfg.Space <= 0 {
 		panic("mpc: Space must be positive")
 	}
-	return &Cluster{
-		cfg:     cfg,
-		stores:  make([][]uint64, cfg.Machines),
-		inboxes: make([][][]uint64, cfg.Machines),
-		workers: parallel.Workers(cfg.Workers),
+	c.stores = make([][]uint64, cfg.Machines)
+	c.inboxes = make([][][]uint64, cfg.Machines)
+	c.spareInbx = make([][][]uint64, cfg.Machines)
+	c.ctxs = make([]*MachineCtx, cfg.Machines)
+	for i := range c.ctxs {
+		c.ctxs[i] = &MachineCtx{ID: i}
 	}
+	return c
 }
 
 // Config returns the cluster configuration.
@@ -159,18 +171,29 @@ func wordsOf(msgs [][]uint64) int {
 // machine violates its space bound.
 func (c *Cluster) Round(label string, step StepFunc) error {
 	m := c.cfg.Machines
-	ctxs := make([]*MachineCtx, m)
+	ctxs := c.ctxs
 	// Machine steps fan out over the bounded shared pool; each machine
-	// writes only its own ctx slot, and the collection pass below runs in
-	// deterministic machine order, so host scheduling is unobservable.
+	// writes only its own (persistent, reset-in-place) ctx, and the
+	// collection pass below runs in deterministic machine order, so host
+	// scheduling is unobservable.
 	parallel.ForEach(c.workers, m, func(id int) {
-		ctx := &MachineCtx{ID: id, Inbox: c.inboxes[id], store: c.stores[id]}
+		ctx := ctxs[id]
+		ctx.ID = id
+		ctx.Inbox = c.inboxes[id]
+		ctx.store = c.stores[id]
+		ctx.out = ctx.out[:0]
 		step(ctx)
-		ctxs[id] = ctx
 	})
 
 	// Collect outboxes and validate space in deterministic machine order.
-	newInboxes := make([][][]uint64, m)
+	// The previous round's inbox table is recycled as the delivery target:
+	// entries are cleared before truncation so stale message payloads from
+	// two rounds ago are released rather than pinned by the slack capacity.
+	newInboxes := c.spareInbx
+	for id := range newInboxes {
+		clear(newInboxes[id])
+		newInboxes[id] = newInboxes[id][:0]
+	}
 	var violations []string
 	for id := 0; id < m; id++ {
 		ctx := ctxs[id]
@@ -205,6 +228,7 @@ func (c *Cluster) Round(label string, step StepFunc) error {
 			c.stats.MaxInbox = w
 		}
 	}
+	c.spareInbx = c.inboxes
 	c.inboxes = newInboxes
 	c.stats.Rounds++
 	if c.stats.roundsByLabel == nil {
@@ -255,7 +279,8 @@ func (c *Cluster) LoadBalanced(data []uint64) error {
 	return nil
 }
 
-// sortStore sorts a store ascending (local computation helper).
+// sortStore sorts a store ascending (local computation helper;
+// allocation-free so per-round machine steps stay cheap).
 func sortStore(s []uint64) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 }

@@ -7,12 +7,20 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/parallel"
+	"repro/internal/scratch"
 	"repro/internal/simcost"
 )
 
 // EdgeResult is the outcome of the Section 3.2 sparsification: the chosen
 // degree class, the good-node set B, the initial edge set E0 = ∪_{v∈B} X(v)
 // and the final low-degree subgraph E*.
+//
+// Lifetime: when produced by SparsifyEdgesIn, the slices (B, Deg, E0) are
+// checked out of the caller's scratch context and EStar lives in its stage
+// CSR double-buffer, so the result is valid until the caller Resets the
+// context or runs the next sparsification on it — i.e. for the enclosing
+// outer-loop round, which is exactly how internal/matching consumes it. The
+// allocating SparsifyEdges wrapper has no such constraint.
 type EdgeResult struct {
 	ClassIndex int    // i of Corollary 8
 	B          []bool // good nodes B = C_i ∩ X
@@ -44,24 +52,35 @@ func inXof(deg []int, v, u graph.NodeID) bool { return deg[u] <= deg[v] }
 
 // SparsifyEdges runs the deterministic edge sparsification of Section 3.2 on
 // g. The model (optional) is charged the Lemma 4 rounds and seed batches.
-// g must have at least one edge.
+// g must have at least one edge. It is SparsifyEdgesIn with a private
+// scratch context; repeated callers (the matching round loop, the Engine)
+// use SparsifyEdgesIn to stay allocation-flat.
 func SparsifyEdges(g *graph.Graph, p core.Params, model *simcost.Model) *EdgeResult {
+	return SparsifyEdgesIn(scratch.New(), g, p, model)
+}
+
+// SparsifyEdgesIn is SparsifyEdges drawing every per-round buffer — masks,
+// degree and class tables, the E0 edge list, and the stage-chain CSR
+// rebuilds — from sc instead of the heap. See EdgeResult for the lifetime
+// of the returned slices. Results are bit-identical to SparsifyEdges at any
+// worker count and for any prior state of sc.
+func SparsifyEdgesIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Model) *EdgeResult {
 	p.Validate()
 	n := g.N()
-	deg := g.Degrees()
+	deg := g.DegreesInto(sc.Ints(n))
 	model.ChargeSort("sparsify.degrees") // nodes learn degrees (Lemma 4)
 
 	workers := p.Workers()
-	x := core.ComputeXW(g, deg, workers)
+	x := core.ComputeXInto(sc.Bools(n), g, deg, workers)
 	model.ChargeSort("sparsify.X") // membership of X via sorted join
 
 	dc := core.NewDegreeClasses(n, p.InvDelta)
-	classOf := make([]int, n)
+	classOf := sc.Ints(n)
 	parallel.ForEach(workers, n, func(v int) {
 		classOf[v] = dc.Class(deg[v])
 	})
 	// Corollary 8: pick i maximising Σ_{v∈B_i} d(v), B_i = C_i ∩ X.
-	weights := make([]int64, dc.K+1)
+	weights := sc.Int64s(dc.K + 1)
 	for v := 0; v < n; v++ {
 		if x[v] {
 			weights[classOf[v]] += int64(deg[v])
@@ -74,16 +93,22 @@ func SparsifyEdges(g *graph.Graph, p core.Params, model *simcost.Model) *EdgeRes
 			i = c
 		}
 	}
-	b := make([]bool, n)
+	b := sc.Bools(n)
 	for v := 0; v < n; v++ {
 		b[v] = x[v] && classOf[v] == i
 	}
 
-	// E0 = ∪_{v∈B} X(v).
-	var e0 []graph.Edge
-	for _, e := range g.Edges() {
-		if inE0(b, deg, e) {
-			e0 = append(e0, e)
+	// E0 = ∪_{v∈B} X(v), collected straight off the CSR arrays in canonical
+	// order (no intermediate full edge list).
+	e0 := sc.EdgesCap(g.M())
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			if graph.NodeID(u) < v {
+				e := graph.Edge{U: graph.NodeID(u), V: v}
+				if inE0(b, deg, e) {
+					e0 = append(e0, e)
+				}
+			}
 		}
 	}
 	res := &EdgeResult{
@@ -96,32 +121,33 @@ func SparsifyEdges(g *graph.Graph, p core.Params, model *simcost.Model) *EdgeRes
 
 	stages := core.StageCount(i)
 	cur := e0
-	curG := graph.FromEdges(n, cur)
-	dE0 := curG.Degrees() // d_{E0}(v), the invariant's reference degrees
+	curG := graph.FromEdgesInto(n, cur, sc.Stage().Next())
+	dE0 := curG.DegreesInto(sc.Ints(n)) // d_{E0}(v), the invariant's reference degrees
 
 	for j := 1; j <= stages && len(cur) > 0; j++ {
-		report := runEdgeStage(g, curG, cur, b, deg, dE0, dc, p, j, model)
-		next := report.next
+		report := runEdgeStage(sc, g, curG, cur, b, deg, dE0, dc, p, j, model)
 		res.Stages = append(res.Stages, report.StageReport)
-		cur = next
-		curG = graph.FromEdges(n, cur)
+		cur = report.next
+		curG = report.nextG
 	}
 	if len(cur) == 0 && len(e0) > 0 {
 		// Subsampling emptied the set (possible at laptop scale); fall back
 		// to E0 so the outer loop always makes progress. Note that when
 		// this happens 2-hop balls may exceed S; the model records it.
 		cur = e0
-		curG = graph.FromEdges(n, cur)
+		curG = graph.FromEdgesInto(n, cur, sc.Stage().Next())
 		res.UsedFallback = true
 	}
 	res.EStar = curG
 	return res
 }
 
-// edgeStageOutcome bundles a stage report with the surviving edges.
+// edgeStageOutcome bundles a stage report with the surviving edges and their
+// graph (built once, in the stage double-buffer).
 type edgeStageOutcome struct {
 	StageReport
-	next []graph.Edge
+	next  []graph.Edge
+	nextG *graph.Graph
 }
 
 // edgeGroup is one logical machine: a contiguous run of the flattened
@@ -132,7 +158,7 @@ type edgeGroup struct {
 	kind       uint8
 }
 
-func runEdgeStage(g, curG *graph.Graph, cur []graph.Edge, b []bool, deg, dE0 []int,
+func runEdgeStage(sc *scratch.Context, g, curG *graph.Graph, cur []graph.Edge, b []bool, deg, dE0 []int,
 	dc *core.DegreeClasses, p core.Params, j int, model *simcost.Model) edgeStageOutcome {
 
 	n := g.N()
@@ -143,7 +169,8 @@ func runEdgeStage(g, curG *graph.Graph, cur []graph.Edge, b []bool, deg, dE0 []i
 
 	// Flatten type-A groups (each node's incident cur-edges in chunks of γ)
 	// and type-B groups (for v ∈ B, the X(v)∩cur edges in chunks of γ).
-	var keys []uint64
+	// Type A contributes 2|cur| keys and type B at most that again.
+	keys := sc.Uint64sCap(4 * len(cur))
 	var groups []edgeGroup
 	appendGroups := func(list []uint64, kind uint8) {
 		for lo := 0; lo < len(list); lo += gamma {
@@ -160,37 +187,44 @@ func runEdgeStage(g, curG *graph.Graph, cur []graph.Edge, b []bool, deg, dE0 []i
 	edgeKey := func(v graph.NodeID, u graph.NodeID) uint64 {
 		return core.SlotKey(graph.Edge{U: v, V: u}.Key(n), j, n)
 	}
-	var scratch []uint64
+	var flat []uint64
 	for v := 0; v < n; v++ {
 		nbrs := curG.Neighbors(graph.NodeID(v))
 		if len(nbrs) == 0 {
 			continue
 		}
-		scratch = scratch[:0]
+		flat = flat[:0]
 		for _, u := range nbrs {
-			scratch = append(scratch, edgeKey(graph.NodeID(v), u))
+			flat = append(flat, edgeKey(graph.NodeID(v), u))
 		}
-		appendGroups(scratch, 0)
+		appendGroups(flat, 0)
 	}
 	for v := 0; v < n; v++ {
 		if !b[v] {
 			continue
 		}
-		scratch = scratch[:0]
+		flat = flat[:0]
 		for _, u := range curG.Neighbors(graph.NodeID(v)) {
 			if inXof(deg, graph.NodeID(v), u) {
-				scratch = append(scratch, edgeKey(graph.NodeID(v), u))
+				flat = append(flat, edgeKey(graph.NodeID(v), u))
 			}
 		}
-		if len(scratch) > 0 {
-			appendGroups(scratch, 1)
+		if len(flat) > 0 {
+			appendGroups(flat, 1)
 		}
 	}
 	model.ChargeSort("sparsify.distribute") // spread incident edges over machines
 
-	// Goodness objective: number of good groups under the seed.
+	// Goodness objective: number of good groups under the seed. The sample
+	// mask is per-worker pooled — candidate seeds are evaluated concurrently
+	// and every slot is rewritten per evaluation, so reuse is unobservable.
+	samplePool := scratch.NewPerWorker(func() *[]bool {
+		buf := make([]bool, len(keys))
+		return &buf
+	})
 	goodGroups := func(seed []uint64) int64 {
-		inSample := make([]bool, len(keys))
+		maskp := samplePool.Get()
+		inSample := (*maskp)[:len(keys)]
 		for t, k := range keys {
 			inSample[t] = fam.Eval(seed, k) < th
 		}
@@ -209,6 +243,7 @@ func runEdgeStage(g, curG *graph.Graph, cur []graph.Edge, b []bool, deg, dE0 []i
 				good++
 			}
 		}
+		samplePool.Put(maskp)
 		return good
 	}
 
@@ -247,10 +282,12 @@ func runEdgeStage(g, curG *graph.Graph, cur []graph.Edge, b []bool, deg, dE0 []i
 	out.SeedsTried = res.SeedsTried
 	out.SeedFound = res.Found
 
-	// Invariant (i), Lemma 10: d_{Ej}(v) <= (1+o(1)) n^{-jδ} d_{E0}(v) + n^{3δ},
+	// Invariant (i), Lemma 10: d_{Ej}(v) <= (1+o(1)) n^{-jδ} d_E0(v) + n^{3δ},
 	// checked with the slack as the (1+o(1)) factor. Both audits shard over
-	// vertex ranges; per-shard partials merge in shard order.
-	nextG := graph.FromEdges(n, next)
+	// vertex ranges; per-shard partials merge in shard order. The stage
+	// graph is built once, into the other half of the stage double-buffer,
+	// and handed back as the next round's source.
+	nextG := graph.FromEdgesInto(n, next, sc.Stage().Next())
 	nJD := math.Pow(float64(n), -float64(j)/float64(dc.K))
 	n3d := math.Pow(float64(n), 3/float64(dc.K))
 	workers := p.Workers()
@@ -298,6 +335,7 @@ func runEdgeStage(g, curG *graph.Graph, cur []graph.Edge, b []bool, deg, dE0 []i
 	}, mergeChecks))
 	out.InvariantI = invI
 	out.InvariantII = invII
+	out.nextG = nextG
 	return out
 }
 

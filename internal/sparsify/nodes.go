@@ -7,12 +7,20 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/parallel"
+	"repro/internal/scratch"
 	"repro/internal/simcost"
 )
 
 // NodeResult is the outcome of the Section 4.2 sparsification: the chosen
 // class Q0 = C_i, the good-node set B (Corollary 16) and the subsampled
 // low-degree node set Q' (as a mask over g's nodes).
+//
+// Lifetime: when produced by SparsifyNodesIn, the slices (B, Deg, Q0, Q)
+// are checked out of the caller's scratch context and QGraph lives in its
+// stage CSR double-buffer, so the result is valid until the caller Resets
+// the context or runs the next sparsification on it — one outer-loop round,
+// which is how internal/mis consumes it. The allocating SparsifyNodes
+// wrapper has no such constraint.
 type NodeResult struct {
 	ClassIndex   int
 	B            []bool // v ∈ B iff Σ_{u∈C_i∼v} 1/d(u) >= δ/3
@@ -26,15 +34,25 @@ type NodeResult struct {
 }
 
 // SparsifyNodes runs the deterministic node sparsification of Section 4.2.
+// It is SparsifyNodesIn with a private scratch context; repeated callers
+// (the MIS round loop, the Engine) use SparsifyNodesIn.
 func SparsifyNodes(g *graph.Graph, p core.Params, model *simcost.Model) *NodeResult {
+	return SparsifyNodesIn(scratch.New(), g, p, model)
+}
+
+// SparsifyNodesIn is SparsifyNodes drawing every per-round buffer from sc
+// instead of the heap. See NodeResult for the lifetime of the returned
+// slices. Results are bit-identical to SparsifyNodes at any worker count
+// and for any prior state of sc.
+func SparsifyNodesIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Model) *NodeResult {
 	p.Validate()
 	n := g.N()
-	deg := g.Degrees()
+	deg := g.DegreesInto(sc.Ints(n))
 	model.ChargeSort("sparsify.degrees")
 
 	workers := p.Workers()
 	dc := core.NewDegreeClasses(n, p.InvDelta)
-	classOf := make([]int, n)
+	classOf := sc.Ints(n)
 	parallel.ForEach(workers, n, func(v int) {
 		classOf[v] = dc.Class(deg[v])
 	})
@@ -44,7 +62,7 @@ func SparsifyNodes(g *graph.Graph, p core.Params, model *simcost.Model) *NodeRes
 	// folds its (fixed, sorted) neighbour list left to right, so the float
 	// sums are bit-identical at any worker count.
 	delta := p.Delta()
-	sums := make([]float64, n*(dc.K+1))
+	sums := sc.Float64s(n * (dc.K + 1))
 	parallel.ForEach(workers, n, func(v int) {
 		row := sums[v*(dc.K+1):]
 		for _, u := range g.Neighbors(graph.NodeID(v)) {
@@ -53,7 +71,7 @@ func SparsifyNodes(g *graph.Graph, p core.Params, model *simcost.Model) *NodeRes
 	})
 	model.ChargeSort("sparsify.classSums")
 
-	weights := make([]int64, dc.K+1)
+	weights := sc.Int64s(dc.K + 1)
 	for v := 0; v < n; v++ {
 		row := sums[v*(dc.K+1):]
 		for c := 1; c <= dc.K; c++ {
@@ -69,8 +87,8 @@ func SparsifyNodes(g *graph.Graph, p core.Params, model *simcost.Model) *NodeRes
 			i = c
 		}
 	}
-	b := make([]bool, n)
-	q0 := make([]bool, n)
+	b := sc.Bools(n)
+	q0 := sc.Bools(n)
 	for v := 0; v < n; v++ {
 		b[v] = sums[v*(dc.K+1)+i] >= delta/3-1e-12
 		q0[v] = classOf[v] == i
@@ -85,22 +103,26 @@ func SparsifyNodes(g *graph.Graph, p core.Params, model *simcost.Model) *NodeRes
 	}
 
 	stages := core.StageCount(i)
-	cur := append([]bool(nil), q0...)
-	for j := 1; j <= stages && countMask(cur) > 0; j++ {
-		report, next := runNodeStage(g, cur, b, deg, dc, p, i, j, model)
+	cur := sc.Bools(n)
+	copy(cur, q0)
+	for j := 1; j <= stages && CountMask(cur) > 0; j++ {
+		report, next := runNodeStage(sc, g, cur, b, deg, dc, p, i, j, model)
 		res.Stages = append(res.Stages, report)
 		cur = next
 	}
-	if countMask(cur) == 0 && countMask(q0) > 0 {
-		cur = append([]bool(nil), q0...)
+	if CountMask(cur) == 0 && CountMask(q0) > 0 {
+		cur = sc.Bools(n)
+		copy(cur, q0)
 		res.UsedFallback = true
 	}
 	res.Q = cur
-	res.QGraph = g.InducedNodesW(cur, workers)
+	res.QGraph = g.InducedNodesInto(cur, workers, sc.Stage().Next())
 	return res
 }
 
-func countMask(mask []bool) int {
+// CountMask returns the number of set entries (shared by the node-stage
+// loops here and the MIS round stats in internal/mis).
+func CountMask(mask []bool) int {
 	c := 0
 	for _, m := range mask {
 		if m {
@@ -110,7 +132,7 @@ func countMask(mask []bool) int {
 	return c
 }
 
-func runNodeStage(g *graph.Graph, cur, b []bool, deg []int,
+func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
 	dc *core.DegreeClasses, p core.Params, i, j int, model *simcost.Model) (StageReport, []bool) {
 
 	n := g.N()
@@ -120,9 +142,10 @@ func runNodeStage(g *graph.Graph, cur, b []bool, deg []int,
 	sampleProb := float64(th) / float64(fam.P())
 
 	// Flattened groups over node keys. kind 0 = type Q (count upper bound),
-	// kind 1 = type B (reciprocal-degree lower bound).
-	var keys []uint64
-	var weightsOf []float64 // 1/d(u), used by type B groups
+	// kind 1 = type B (reciprocal-degree lower bound). Each of the two
+	// passes contributes at most one key per half-edge of g.
+	keys := sc.Uint64sCap(4 * g.M())
+	weightsOf := sc.Float64sCap(4 * g.M()) // 1/d(u), used by type B groups
 	var groups []edgeGroup
 	appendGroups := func(ids []graph.NodeID, kind uint8) {
 		for lo := 0; lo < len(ids); lo += gamma {
@@ -137,15 +160,15 @@ func runNodeStage(g *graph.Graph, cur, b []bool, deg []int,
 			weightsOf = append(weightsOf, 1/float64(deg[u]))
 		}
 	}
-	var scratch []graph.NodeID
+	var flat []graph.NodeID
 	curNeighbors := func(v int) []graph.NodeID {
-		scratch = scratch[:0]
+		flat = flat[:0]
 		for _, u := range g.Neighbors(graph.NodeID(v)) {
 			if cur[u] {
-				scratch = append(scratch, u)
+				flat = append(flat, u)
 			}
 		}
-		return scratch
+		return flat
 	}
 	for v := 0; v < n; v++ {
 		if !cur[v] {
@@ -169,8 +192,15 @@ func runNodeStage(g *graph.Graph, cur, b []bool, deg []int,
 	// Bellare-Rompel application (variables Z_u = n^{(i-1)δ}/d(u)).
 	devB := math.Pow(float64(n), (0.9-float64(i))/float64(dc.K))
 
+	// Per-worker pooled sample mask: candidate seeds are evaluated
+	// concurrently and every slot is rewritten per evaluation.
+	samplePool := scratch.NewPerWorker(func() *[]bool {
+		buf := make([]bool, len(keys))
+		return &buf
+	})
 	goodGroups := func(seed []uint64) int64 {
-		inSample := make([]bool, len(keys))
+		maskp := samplePool.Get()
+		inSample := (*maskp)[:len(keys)]
 		for t, k := range keys {
 			inSample[t] = fam.Eval(seed, k) < th
 		}
@@ -203,6 +233,7 @@ func runNodeStage(g *graph.Graph, cur, b []bool, deg []int,
 				good++
 			}
 		}
+		samplePool.Put(maskp)
 		return good
 	}
 
@@ -218,18 +249,16 @@ func runNodeStage(g *graph.Graph, cur, b []bool, deg []int,
 	}
 
 	workers := p.Workers()
-	next := make([]bool, n)
+	next := sc.Bools(n)
 	parallel.ForEach(workers, n, func(v int) {
-		if cur[v] && fam.Eval(res.Seed, core.SlotKey(uint64(v), j, n)) < th {
-			next[v] = true
-		}
+		next[v] = cur[v] && fam.Eval(res.Seed, core.SlotKey(uint64(v), j, n)) < th
 	})
 	model.ChargeScan("sparsify.apply")
 
 	report := StageReport{
 		Stage:       j,
-		ItemsBefore: countMask(cur),
-		ItemsAfter:  countMask(next),
+		ItemsBefore: CountMask(cur),
+		ItemsAfter:  CountMask(next),
 		Groups:      len(groups),
 		GoodGroups:  int(goodGroups(res.Seed)),
 		SeedsTried:  res.SeedsTried,

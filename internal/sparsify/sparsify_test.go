@@ -214,7 +214,7 @@ func TestSparsifyNodesQSubsetOfQ0(t *testing.T) {
 			t.Fatalf("node %d in Q' but not Q0", v)
 		}
 	}
-	if countMask(res.Q) == 0 {
+	if CountMask(res.Q) == 0 {
 		t.Error("Q' empty")
 	}
 }
@@ -222,7 +222,7 @@ func TestSparsifyNodesQSubsetOfQ0(t *testing.T) {
 func TestSparsifyNodesStagesShrink(t *testing.T) {
 	g := denseGraph()
 	res := SparsifyNodes(g, params(), nil)
-	prev := countMask(res.Q0)
+	prev := CountMask(res.Q0)
 	for _, st := range res.Stages {
 		if st.ItemsBefore != prev {
 			t.Errorf("stage %d begins with %d, expected %d", st.Stage, st.ItemsBefore, prev)
@@ -267,7 +267,7 @@ func TestSparsifyNodesDeterministic(t *testing.T) {
 	g := denseGraph()
 	a := SparsifyNodes(g, params(), nil)
 	b := SparsifyNodes(g, params(), nil)
-	if a.ClassIndex != b.ClassIndex || countMask(a.Q) != countMask(b.Q) {
+	if a.ClassIndex != b.ClassIndex || CountMask(a.Q) != CountMask(b.Q) {
 		t.Fatal("nondeterministic node sparsification")
 	}
 	for v := range a.Q {
@@ -297,7 +297,7 @@ func TestSparsifyNodesPowerLaw(t *testing.T) {
 	if res.BWeight <= 0 {
 		t.Error("empty B on power-law graph")
 	}
-	if countMask(res.Q) == 0 {
+	if CountMask(res.Q) == 0 {
 		t.Error("empty Q' on power-law graph")
 	}
 }

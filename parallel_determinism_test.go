@@ -126,6 +126,78 @@ func TestSerialAliasMatchesParallelismOne(t *testing.T) {
 	}
 }
 
+// TestEngineReuseWorkerCountIndependence runs the worker-count-independence
+// tables against a WARM reused Engine: at each Parallelism level the engine
+// is warmed on a different graph first (so the solve under test runs on
+// dirty, recycled buffers) and then solves the workload twice. Both solves
+// must be bit-identical across all Parallelism levels and to the one-shot
+// free function — scratch reuse changes memory lifetimes, never values.
+// CI runs this under -race via the dedicated engine-race job (make
+// race-engine).
+func TestEngineReuseWorkerCountIndependence(t *testing.T) {
+	for _, w := range determinismWorkloads {
+		for _, strat := range []Strategy{StrategySparsify, StrategyLowDegree} {
+			t.Run(fmt.Sprintf("%s/n=%d/%s", w.family, w.n, strat), func(t *testing.T) {
+				g, err := Generate(w.family, w.n, w.avgDeg, w.seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				warmup, err := Generate("gnm", w.n+77, 12, w.seed+13)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refMM, err := MaximalMatching(g, &Options{Strategy: strat})
+				if err != nil {
+					t.Fatal(err)
+				}
+				refIS, err := MaximalIndependentSet(g, &Options{Strategy: strat})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, par := range parallelismLevels {
+					eng := NewEngine(&Options{Strategy: strat, Parallelism: par})
+					if _, err := eng.MaximalMatching(warmup); err != nil {
+						t.Fatalf("Parallelism=%d warmup: %v", par, err)
+					}
+					if _, err := eng.MaximalIndependentSet(warmup); err != nil {
+						t.Fatalf("Parallelism=%d warmup: %v", par, err)
+					}
+					for round := 0; round < 2; round++ {
+						mm, err := eng.MaximalMatching(g)
+						if err != nil {
+							t.Fatalf("Parallelism=%d round %d: %v", par, round, err)
+						}
+						if len(mm.Edges) != len(refMM.Edges) || mm.Iterations != refMM.Iterations {
+							t.Fatalf("Parallelism=%d round %d: matching %d edges/%d iters, want %d/%d",
+								par, round, len(mm.Edges), mm.Iterations, len(refMM.Edges), refMM.Iterations)
+						}
+						for i := range mm.Edges {
+							if mm.Edges[i] != refMM.Edges[i] {
+								t.Fatalf("Parallelism=%d round %d: edge %d is %v, want %v",
+									par, round, i, mm.Edges[i], refMM.Edges[i])
+							}
+						}
+						is, err := eng.MaximalIndependentSet(g)
+						if err != nil {
+							t.Fatalf("Parallelism=%d round %d: %v", par, round, err)
+						}
+						if len(is.Nodes) != len(refIS.Nodes) || is.Iterations != refIS.Iterations {
+							t.Fatalf("Parallelism=%d round %d: MIS %d nodes/%d iters, want %d/%d",
+								par, round, len(is.Nodes), is.Iterations, len(refIS.Nodes), refIS.Iterations)
+						}
+						for i := range is.Nodes {
+							if is.Nodes[i] != refIS.Nodes[i] {
+								t.Fatalf("Parallelism=%d round %d: node %d is %d, want %d",
+									par, round, i, is.Nodes[i], refIS.Nodes[i])
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestLubyBaselinesWorkerCountIndependence covers the randomized baselines'
 // sharded candidate evaluation: same detrand seed, different worker counts,
 // identical outputs.
