@@ -5,8 +5,20 @@
 GO ?= go
 BENCH_PATTERN ?= .
 BENCH_OUT ?= BENCH_results.json
+# bench-save: one iteration per benchmark by default — the heavy pipeline
+# benchmarks run 1-15 s per op, so 1x keeps a full baseline run under a
+# minute while still timing every real computation. Raise for quieter
+# numbers on a dedicated box (e.g. make bench-save BENCH_TIME=2s).
+BENCH_TIME ?= 1x
+BENCH_DATE := $(shell date +%F)
+# The committed baseline the compare step diffs against: the latest
+# BENCH_<date>*.json at the repo root (names sort chronologically).
+BENCH_BASELINE ?= $(shell ls BENCH_2*.json 2>/dev/null | sort | tail -1)
+# Benchmarks whose ns/op regression beyond 20% draws a warning (never a
+# failure): the seed-search kernel and the warm-Engine reuse pairs.
+BENCH_WARN ?= BenchmarkT7_SeedSearch|BenchmarkEngineReuse
 
-.PHONY: build test race race-engine bench bench-smoke fmt fmt-check vet ci
+.PHONY: build test race race-engine bench bench-smoke bench-save bench-compare fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
@@ -39,6 +51,19 @@ bench:
 # across commits alongside ns/op.
 bench-smoke:
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+
+# Archive a dated benchmark baseline at the repo root: the full suite through
+# cmd/benchjson into BENCH_<date>.json. Commit the file so the performance
+# trajectory is diffable across PRs (bench-compare reads the latest one).
+bench-save:
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_$(BENCH_DATE).json
+
+# Diff a bench-smoke result ($(BENCH_OUT)) against the committed baseline,
+# warning — never failing — on >20% ns/op regressions in $(BENCH_WARN).
+# Run `make bench-smoke` (or CI's bench-smoke job) first.
+bench-compare:
+	@if [ -z "$(BENCH_BASELINE)" ]; then echo "bench-compare: no committed BENCH_*.json baseline"; exit 1; fi
+	$(GO) run ./cmd/benchjson -input $(BENCH_OUT) -compare $(BENCH_BASELINE) -warn '$(BENCH_WARN)' -warn-pct 20
 
 fmt:
 	gofmt -w .

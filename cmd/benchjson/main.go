@@ -8,6 +8,14 @@
 //	go test -bench=. -benchtime=1x ./... | go run ./cmd/benchjson -o bench.json
 //	go run ./cmd/benchjson < bench.txt           # JSON to stdout
 //
+// With -compare old.json the current results (stdin, or a previously
+// written JSON via -input new.json) are diffed against a baseline file:
+// a per-benchmark ns/op and allocs/op delta table goes to stdout, and
+// -warn '<regexp>' emits stderr warnings (never a failure) for named
+// benchmarks whose ns/op regressed by more than -warn-pct percent. This is
+// what `make bench-compare` and the CI bench-smoke job run against the
+// committed BENCH_*.json baseline.
+//
 // The parser understands the standard benchmark line format
 //
 //	BenchmarkName-8   	     100	  11222333 ns/op	  4455 B/op	   66 allocs/op
@@ -25,7 +33,9 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -57,47 +67,148 @@ type Result struct {
 
 func main() {
 	var (
-		out    = flag.String("o", "", "output file (default stdout)")
-		indent = flag.Bool("indent", true, "pretty-print the JSON")
+		out     = flag.String("o", "", "output file (default stdout; with -compare, JSON is only written when -o is set)")
+		indent  = flag.Bool("indent", true, "pretty-print the JSON")
+		input   = flag.String("input", "", "read results from a previously written JSON file instead of parsing go-test output on stdin")
+		compare = flag.String("compare", "", "baseline JSON file: print per-benchmark ns/op and allocs/op deltas of the current results against it")
+		warnRe  = flag.String("warn", "", "with -compare: regexp of benchmark names that emit a warning when ns/op regresses by more than -warn-pct (never fails the run)")
+		warnPct = flag.Float64("warn-pct", 20, "with -compare: ns/op regression threshold in percent for -warn")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 
-	results, failed, err := parse(os.Stdin)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+	var results []Result
+	failed := 0
+	if *input != "" {
+		var err error
+		if results, err = readResults(*input); err != nil {
 			log.Fatal(err)
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
+	} else {
+		var err error
+		if results, failed, err = parse(os.Stdin); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *out != "" || *compare == "" {
+		var w io.Writer = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
 				log.Fatal(err)
 			}
-		}()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	if *indent {
-		enc.SetIndent("", "  ")
-	}
-	if err := enc.Encode(results); err != nil {
-		log.Fatal(err)
-	}
-	if *out != "" {
-		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+			defer func() {
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+			}()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		if *indent {
+			enc.SetIndent("", "  ")
+		}
+		if err := enc.Encode(results); err != nil {
+			log.Fatal(err)
+		}
+		if *out != "" {
+			fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+		}
 	}
 	if noMem := countWithoutMem(results); noMem > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: warning: %d result(s) lack B/op+allocs/op — was the run missing -benchmem?\n", noMem)
 	}
+	if *compare != "" {
+		baseline, err := readResults(*compare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		warnings, err := compareResults(os.Stdout, baseline, results, *warnRe, *warnPct)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Regressions warn, never fail: the bench-smoke runners are shared
+		// and noisy, so a hard gate would flake. The warning text is what
+		// CI surfaces.
+		for _, w := range warnings {
+			fmt.Fprintf(os.Stderr, "benchjson: warning: %s\n", w)
+		}
+	}
 	if failed > 0 {
 		log.Fatalf("%d package(s) reported FAIL", failed)
 	}
+}
+
+// readResults loads a JSON array previously written by this tool.
+func readResults(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return results, nil
+}
+
+// compareResults prints a per-benchmark delta table (current vs baseline,
+// matched by name) and returns warning strings for every benchmark whose
+// name matches warnExpr and whose ns/op regressed by more than warnPct
+// percent. Benchmarks present on only one side are listed but never warn.
+func compareResults(w io.Writer, baseline, current []Result, warnExpr string, warnPct float64) ([]string, error) {
+	var warnOn *regexp.Regexp
+	if warnExpr != "" {
+		var err error
+		if warnOn, err = regexp.Compile(warnExpr); err != nil {
+			return nil, fmt.Errorf("-warn: %w", err)
+		}
+	}
+	old := make(map[string]Result, len(baseline))
+	for _, r := range baseline {
+		old[r.Name] = r
+	}
+	var warnings []string
+	fmt.Fprintf(w, "%-45s %15s %15s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "Δns/op", "Δallocs")
+	for _, cur := range current {
+		o, ok := old[cur.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-45s %15s %15.0f %9s %9s\n", cur.Name, "-", cur.NsPerOp, "new", "-")
+			continue
+		}
+		delete(old, cur.Name)
+		nsDelta := math.NaN()
+		if o.NsPerOp > 0 && cur.NsPerOp > 0 {
+			nsDelta = (cur.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		allocDelta := math.NaN()
+		if o.HasMem && cur.HasMem && o.AllocsPerOp > 0 {
+			allocDelta = (cur.AllocsPerOp - o.AllocsPerOp) / o.AllocsPerOp * 100
+		}
+		fmt.Fprintf(w, "%-45s %15.0f %15.0f %8s%% %8s%%\n",
+			cur.Name, o.NsPerOp, cur.NsPerOp, fmtDelta(nsDelta), fmtDelta(allocDelta))
+		if warnOn != nil && warnOn.MatchString(cur.Name) && !math.IsNaN(nsDelta) && nsDelta > warnPct {
+			warnings = append(warnings,
+				fmt.Sprintf("%s regressed %.1f%% in ns/op (%.0f -> %.0f, threshold %.0f%%)",
+					cur.Name, nsDelta, o.NsPerOp, cur.NsPerOp, warnPct))
+		}
+	}
+	for _, r := range baseline {
+		if _, gone := old[r.Name]; gone {
+			fmt.Fprintf(w, "%-45s %15.0f %15s %9s %9s\n", r.Name, r.NsPerOp, "-", "gone", "-")
+		}
+	}
+	return warnings, nil
+}
+
+// fmtDelta renders a percentage delta with sign, or "-" for NaN.
+func fmtDelta(d float64) string {
+	if math.IsNaN(d) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f", d)
 }
 
 // countWithoutMem returns how many results carried no allocation metrics.

@@ -94,3 +94,55 @@ func TestHasMemRequiresBothUnits(t *testing.T) {
 		t.Fatalf("lone B/op must not set HasMem: %+v", results)
 	}
 }
+
+// TestCompareResults covers the -compare mode: delta math, warn filtering,
+// and the new/gone rows for benchmarks present on one side only.
+func TestCompareResults(t *testing.T) {
+	baseline := []Result{
+		{Name: "BenchmarkT7_SeedSearch", NsPerOp: 100, AllocsPerOp: 10, HasMem: true},
+		{Name: "BenchmarkStable", NsPerOp: 200, AllocsPerOp: 4, HasMem: true},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+	}
+	current := []Result{
+		{Name: "BenchmarkT7_SeedSearch", NsPerOp: 150, AllocsPerOp: 10, HasMem: true}, // +50%
+		{Name: "BenchmarkStable", NsPerOp: 210, AllocsPerOp: 4, HasMem: true},         // +5%
+		{Name: "BenchmarkNew", NsPerOp: 77},
+	}
+	var buf strings.Builder
+	warnings, err := compareResults(&buf, baseline, current, "BenchmarkT7_SeedSearch|BenchmarkStable", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "BenchmarkT7_SeedSearch") {
+		t.Fatalf("want exactly one T7 warning, got %v", warnings)
+	}
+	out := buf.String()
+	for _, want := range []string{"+50.0%", "+5.0%", "new", "gone"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCompareResultsNoWarnBelowThreshold pins the warn-only contract: an
+// improvement or a small regression emits no warning even for matched names.
+func TestCompareResultsNoWarnBelowThreshold(t *testing.T) {
+	baseline := []Result{{Name: "BenchmarkT7_SeedSearch", NsPerOp: 100}}
+	current := []Result{{Name: "BenchmarkT7_SeedSearch", NsPerOp: 40}}
+	var buf strings.Builder
+	warnings, err := compareResults(&buf, baseline, current, "BenchmarkT7_SeedSearch", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warnings) != 0 {
+		t.Fatalf("improvement must not warn: %v", warnings)
+	}
+}
+
+// TestCompareResultsBadRegexp surfaces -warn compile errors.
+func TestCompareResultsBadRegexp(t *testing.T) {
+	var buf strings.Builder
+	if _, err := compareResults(&buf, nil, nil, "(", 20); err == nil {
+		t.Fatal("invalid -warn regexp must error")
+	}
+}

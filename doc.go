@@ -52,6 +52,18 @@
 // worker-count-independence tables against warm reused engines under the
 // race detector (make race-engine).
 //
+// The Engine's arithmetic hot path is the batched hash kernel: every seed
+// search precomputes its round's seed-independent key vector once
+// (core.SlotKeysInto), and each candidate seed is then a single
+// hashfam.Evaluator.EvalKeys pass — Barrett-style reduction with a
+// precomputed reciprocal of the field prime (internal/intmath.Reducer)
+// instead of a 128-bit division per coefficient — feeding z-vector
+// local-minimum selection. The kernel computes exactly the same field
+// values as the scalar hashfam.Family.Eval fallback, so derandomized
+// outputs are bit-identical either way (proven end to end by the
+// kernel-vs-scalar tables in parallel_determinism_test.go); see the "Hash
+// kernel" section of ROADMAP.md.
+//
 // Everything the algorithms rely on is implemented in this module under
 // internal/: the MPC cluster simulator with Lemma 4's constant-round
 // sorting and prefix sums (internal/mpc), the round/space cost model

@@ -34,6 +34,16 @@ import (
 // concurrent calls).
 type Objective func(seed []uint64) int64
 
+// BatchObjective evaluates one whole batch of candidate seeds against
+// shared per-round state: it must set values[i] = q(seeds[i]) for every i,
+// with slot i depending only on seeds[i]. This is the vectorized form the
+// hash-kernel seed searches use — the caller precomputes the round's key
+// vector once, and each batch evaluation is one Evaluator.EvalKeys pass per
+// seed (typically fanned out over internal/parallel workers inside the
+// implementation, which keeps results bit-identical at any worker count
+// because slots are independent).
+type BatchObjective func(seeds [][]uint64, values []int64)
+
 // Options configure a search.
 type Options struct {
 	// BatchSize is the number of candidate seeds evaluated per charged
@@ -100,8 +110,22 @@ func (o *Options) defaults() {
 // returns the first seed whose objective is at least threshold. If no seed
 // qualifies within MaxSeeds, the best seed seen is returned with
 // Found == false (callers treat that as "take the progress you got", which
-// keeps the outer algorithms unconditionally correct).
+// keeps the outer algorithms unconditionally correct). It is
+// SearchAtLeastBatch with the per-seed objective fanned out over
+// Options.Workers; kernel callers pass their own BatchObjective instead.
 func SearchAtLeast(fam hashfam.Family, obj Objective, threshold int64, opts Options) (Result, error) {
+	opts.defaults()
+	return SearchAtLeastBatch(fam, func(seeds [][]uint64, values []int64) {
+		evalBatch(seeds, values, obj, opts.Workers)
+	}, threshold, opts)
+}
+
+// SearchAtLeastBatch is SearchAtLeast evaluating candidates a whole batch
+// at a time through obj. The selection rule is unchanged — the first seed
+// in enumeration order whose value meets the threshold — so a
+// BatchObjective that matches a scalar objective slot-for-slot yields
+// bit-identical results.
+func SearchAtLeastBatch(fam hashfam.Family, obj BatchObjective, threshold int64, opts Options) (Result, error) {
 	opts.defaults()
 	enum := fam.Enumerate()
 	best := Result{Value: -1 << 62}
@@ -125,7 +149,7 @@ func SearchAtLeast(fam hashfam.Family, obj Objective, threshold int64, opts Opti
 			opts.Model.ChargeSeedBatch(len(batch), opts.Label)
 		}
 		best.Batches++
-		evalBatch(batch, values[:len(batch)], obj, opts.Workers)
+		obj(batch, values[:len(batch)])
 		for i, seed := range batch {
 			v := values[i]
 			if v > best.Value {
@@ -174,12 +198,21 @@ func SearchAtLeast(fam hashfam.Family, obj Objective, threshold int64, opts Opti
 // (e.g. picking the stage seed that maximises removed edges in Section 5).
 func SearchBest(fam hashfam.Family, obj Objective, maxSeeds int, opts Options) (Result, error) {
 	opts.defaults()
+	return SearchBestBatch(fam, func(seeds [][]uint64, values []int64) {
+		evalBatch(seeds, values, obj, opts.Workers)
+	}, maxSeeds, opts)
+}
+
+// SearchBestBatch is SearchBest through a BatchObjective (see
+// SearchAtLeastBatch).
+func SearchBestBatch(fam hashfam.Family, obj BatchObjective, maxSeeds int, opts Options) (Result, error) {
+	opts.defaults()
 	if maxSeeds > 0 {
 		opts.MaxSeeds = maxSeeds
 	}
 	// A threshold above any achievable value forces a full scan of
 	// MaxSeeds; the best seed is tracked along the way.
-	res, err := SearchAtLeast(fam, obj, 1<<62, opts)
+	res, err := SearchAtLeastBatch(fam, obj, 1<<62, opts)
 	if err != nil {
 		return res, err
 	}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"math"
+	"math/bits"
 	"sync/atomic"
 
 	"repro/internal/graph"
@@ -47,6 +48,14 @@ type Params struct {
 	// values pin an explicit worker count. Results are bit-identical at any
 	// setting (the determinism contract; see internal/parallel).
 	Parallelism int
+	// ScalarObjectives routes every seed-search objective through the
+	// pre-kernel per-item closure evaluation (hashfam.Family.Eval once per
+	// key per seed) instead of the batched Evaluator kernel. The two paths
+	// are bit-identical by construction — the kernel is a speed change only
+	// — and this flag exists so the equivalence tables in
+	// parallel_determinism_test.go can prove that end to end. Never set it
+	// in production code.
+	ScalarObjectives bool
 }
 
 // Workers resolves Parallelism to a concrete worker count.
@@ -315,17 +324,42 @@ func (a ZKey) Less(b ZKey) bool {
 	return a.ID < b.ID
 }
 
-// EdgeMinScratch is the reusable working state of LocalMinEdgesInto: the
-// per-node minimum tables and the output buffer. Seed searches evaluate the
-// selection once per candidate seed, so pooling this state (one per worker,
-// see scratch.PerWorker) removes the dominant per-seed allocations of the
-// matching path. The zero value is ready to use. Every field is fully
-// rewritten by each call, so reuse cannot change any computed value.
+// EdgeMinScratch is the reusable working state of LocalMinEdgesZ: the
+// per-node minimum tables, a z buffer for the closure wrapper, and the
+// output buffer. Seed searches evaluate the selection once per candidate
+// seed, so pooling this state (one per worker, see scratch.PerWorker)
+// removes the dominant per-seed allocations of the matching path. The zero
+// value is ready to use. Every field is fully rewritten by each call, so
+// reuse cannot change any computed value.
 type EdgeMinScratch struct {
 	min1, min2 []ZKey
 	arg1       []uint64
 	keys       []ZKey
-	out        []graph.Edge
+	zbuf       []uint64
+	// packed-path tables: (z, id) fused into one uint64 (see packedEdgeBits)
+	pmin1, pmin2 []uint64
+	pkeys        []uint64
+	out          []graph.Edge
+}
+
+// packedEdgeBits reports whether every z value fits above an id field of
+// idBits bits in one uint64, i.e. whether the (z, id) lexicographic order
+// can be represented as single-word order z<<idBits | id. The hash fields
+// of this repository are ~SlotMax·n², so for laptop-scale n the packed
+// comparison replaces the two-branch ZKey.Less on the selection hot path;
+// full-width z values (e.g. the randomized baselines' raw detrand draws)
+// fall back to the struct path. The OR-reduction over z is one predictable
+// pass, amortised over the two selection passes it speeds up.
+func packedEdgeBits(n int, z []uint64) (idBits uint, ok bool) {
+	if n < 2 {
+		return 0, false
+	}
+	idBits = uint(bits.Len64(uint64(n)*uint64(n) - 1))
+	var all uint64
+	for _, zv := range z {
+		all |= zv
+	}
+	return idBits, all>>(64-idBits) == 0
 }
 
 // LocalMinEdges returns the candidate matching E_h of Section 3.3: the edges
@@ -336,11 +370,33 @@ func LocalMinEdges(estar *graph.Graph, edges []graph.Edge, zOf func(graph.Edge) 
 	return LocalMinEdgesInto(new(EdgeMinScratch), estar, edges, zOf)
 }
 
-// LocalMinEdgesInto is LocalMinEdges drawing all working state from s. The
-// returned slice aliases s.out and is valid until the next call with the
-// same scratch.
+// LocalMinEdgesInto is LocalMinEdges drawing all working state from s: the
+// closure-based wrapper over LocalMinEdgesZ, kept for callers without a
+// precomputed z vector (the hot seed searches precompute one and call the Z
+// form directly). The returned slice aliases s.out and is valid until the
+// next call with the same scratch.
 func LocalMinEdgesInto(s *EdgeMinScratch, estar *graph.Graph, edges []graph.Edge, zOf func(graph.Edge) uint64) []graph.Edge {
+	s.zbuf = graph.Grow(s.zbuf, len(edges))
+	z := s.zbuf[:len(edges)]
+	for idx, e := range edges {
+		z[idx] = zOf(e)
+	}
+	return LocalMinEdgesZ(s, estar, edges, z)
+}
+
+// LocalMinEdgesZ is the kernel form of the Section 3.3 selection: z[idx] is
+// the precomputed hash value of edges[idx] (one hashfam.Evaluator.EvalKeys
+// pass over the round's SlotKeysInto vector), so the scan is two cache-
+// friendly passes with no per-edge closure call. The returned slice aliases
+// s.out and is valid until the next call with the same scratch.
+func LocalMinEdgesZ(s *EdgeMinScratch, estar *graph.Graph, edges []graph.Edge, z []uint64) []graph.Edge {
+	if len(z) != len(edges) {
+		panic("core: LocalMinEdgesZ z/edges length mismatch")
+	}
 	n := estar.N()
+	if idBits, ok := packedEdgeBits(n, z); ok {
+		return localMinEdgesPacked(s, n, edges, z, idBits)
+	}
 	// Per-node minimum and second minimum incident (z,key), so the minimum
 	// excluding any given edge is available in O(1).
 	const none = ^uint64(0)
@@ -355,7 +411,7 @@ func LocalMinEdgesInto(s *EdgeMinScratch, estar *graph.Graph, edges []graph.Edge
 		arg1[v] = none
 	}
 	for idx, e := range edges {
-		k := ZKey{zOf(e), e.Key(n)}
+		k := ZKey{z[idx], e.Key(n)}
 		keys[idx] = k
 		for _, end := range [2]graph.NodeID{e.U, e.V} {
 			if k.Less(min1[end]) {
@@ -389,6 +445,61 @@ func LocalMinEdgesInto(s *EdgeMinScratch, estar *graph.Graph, edges []graph.Edge
 	return out
 }
 
+// localMinEdgesPacked is LocalMinEdgesZ with each (z, key) pair fused into
+// one uint64 (z<<idBits | key): single-word compares replace ZKey.Less, the
+// packed minimum doubles as its own argmin (keys are unique per edge, so
+// min1 == k identifies the edge), and the all-ones sentinel is unreachable
+// because a canonical edge key never has all idBits set. Selection order
+// and ties are exactly those of the struct path — packing is monotone in
+// the (z, id) lexicographic order.
+func localMinEdgesPacked(s *EdgeMinScratch, n int, edges []graph.Edge, z []uint64, idBits uint) []graph.Edge {
+	const none = ^uint64(0)
+	s.pmin1 = graph.Grow(s.pmin1, n)
+	s.pmin2 = graph.Grow(s.pmin2, n)
+	s.pkeys = graph.Grow(s.pkeys, len(edges))
+	min1, min2, keys := s.pmin1[:n], s.pmin2[:n], s.pkeys[:len(edges)]
+	for v := range min1 {
+		min1[v] = none
+		min2[v] = none
+	}
+	for idx, e := range edges {
+		k := z[idx]<<idBits | e.Key(n)
+		keys[idx] = k
+		if k < min1[e.U] {
+			min2[e.U] = min1[e.U]
+			min1[e.U] = k
+		} else if k < min2[e.U] {
+			min2[e.U] = k
+		}
+		if k < min1[e.V] {
+			min2[e.V] = min1[e.V]
+			min1[e.V] = k
+		} else if k < min2[e.V] {
+			min2[e.V] = k
+		}
+	}
+	out := s.out[:0]
+	for idx, e := range edges {
+		k := keys[idx]
+		otherU := min1[e.U]
+		if otherU == k {
+			otherU = min2[e.U]
+		}
+		if k >= otherU {
+			continue
+		}
+		otherV := min1[e.V]
+		if otherV == k {
+			otherV = min2[e.V]
+		}
+		if k < otherV {
+			out = append(out, e)
+		}
+	}
+	s.out = out
+	return out
+}
+
 // LocalMinNodes returns the candidate independent set I_h of Section 4.3:
 // nodes of q (restricted to inQ) whose (z, id) is strictly smaller than
 // every q-neighbour's. The result is always independent in q.
@@ -397,7 +508,9 @@ func LocalMinNodes(q *graph.Graph, inQ []bool, zOf func(graph.NodeID) uint64) []
 }
 
 // LocalMinNodesInto is LocalMinNodes appending into dst[:0] (nil allocates),
-// for per-seed buffer reuse in the objective evaluations.
+// for per-seed buffer reuse in the objective evaluations. It is the
+// closure-based wrapper kept for callers without a precomputed z vector;
+// the hot seed searches precompute one and call LocalMinNodesZ.
 func LocalMinNodesInto(dst []graph.NodeID, q *graph.Graph, inQ []bool, zOf func(graph.NodeID) uint64) []graph.NodeID {
 	out := dst[:0]
 	for v := 0; v < q.N(); v++ {
@@ -411,6 +524,69 @@ func LocalMinNodesInto(dst []graph.NodeID, q *graph.Graph, inQ []bool, zOf func(
 				continue
 			}
 			ku := ZKey{zOf(u), uint64(u)}
+			if !kv.Less(ku) {
+				isMin = false
+				break
+			}
+		}
+		if isMin {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// LocalMinNodesZ is the kernel form of the Section 4.3 selection: z[v] is
+// the precomputed hash value of node v (one hashfam.Evaluator.EvalKeys pass
+// over a NodeSlotKeysInto vector), so each node's z is read once per
+// incidence instead of re-evaluated through a closure. Results are
+// bit-identical to LocalMinNodesInto with zOf(v) == z[v].
+func LocalMinNodesZ(dst []graph.NodeID, q *graph.Graph, inQ []bool, z []uint64) []graph.NodeID {
+	n := q.N()
+	if len(z) < n {
+		panic("core: LocalMinNodesZ z vector shorter than node count")
+	}
+	// Packed fast path, as in localMinEdgesPacked: when every z fits above
+	// an id field of Len(n-1) bits, (z, id) comparisons are single-word.
+	if n >= 2 {
+		idBits := uint(bits.Len64(uint64(n) - 1))
+		var all uint64
+		for _, zv := range z[:n] {
+			all |= zv
+		}
+		if all>>(64-idBits) == 0 {
+			out := dst[:0]
+			for v := 0; v < n; v++ {
+				if !inQ[v] {
+					continue
+				}
+				kv := z[v]<<idBits | uint64(v)
+				isMin := true
+				for _, u := range q.Neighbors(graph.NodeID(v)) {
+					if inQ[u] && kv >= z[u]<<idBits|uint64(u) {
+						isMin = false
+						break
+					}
+				}
+				if isMin {
+					out = append(out, graph.NodeID(v))
+				}
+			}
+			return out
+		}
+	}
+	out := dst[:0]
+	for v := 0; v < n; v++ {
+		if !inQ[v] {
+			continue
+		}
+		kv := ZKey{z[v], uint64(v)}
+		isMin := true
+		for _, u := range q.Neighbors(graph.NodeID(v)) {
+			if !inQ[u] {
+				continue
+			}
+			ku := ZKey{z[u], uint64(u)}
 			if !kv.Less(ku) {
 				isMin = false
 				break
@@ -451,6 +627,37 @@ func SlotKey(x uint64, slot, n int) uint64 {
 		panic("core: slot out of range")
 	}
 	return x + uint64(slot)*uint64(n)*uint64(n)
+}
+
+// SlotKeysInto appends the slot-separated hash key of every edge to dst[:0]
+// and returns it: the once-per-round key vector the batched seed searches
+// evaluate candidate seeds against (hashfam.Evaluator.EvalKeys), instead of
+// recomputing e.Key(n) + slot offset for every (seed, edge) pair. dst is
+// typically checked out of a scratch.Context.
+func SlotKeysInto(dst []uint64, edges []graph.Edge, slot, n int) []uint64 {
+	if slot < 0 || slot >= SlotMax {
+		panic("core: slot out of range")
+	}
+	off := uint64(slot) * uint64(n) * uint64(n)
+	dst = dst[:0]
+	for _, e := range edges {
+		dst = append(dst, e.Key(n)+off)
+	}
+	return dst
+}
+
+// NodeSlotKeysInto is SlotKeysInto for the vertex key space: it appends the
+// slot-separated key of every node id 0..n-1 to dst[:0] and returns it.
+func NodeSlotKeysInto(dst []uint64, slot, n int) []uint64 {
+	if slot < 0 || slot >= SlotMax {
+		panic("core: slot out of range")
+	}
+	off := uint64(slot) * uint64(n) * uint64(n)
+	dst = dst[:0]
+	for v := 0; v < n; v++ {
+		dst = append(dst, uint64(v)+off)
+	}
+	return dst
 }
 
 // PairwiseFamily returns the 2-wise independent family over the graph's

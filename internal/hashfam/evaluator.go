@@ -1,0 +1,100 @@
+package hashfam
+
+import (
+	"fmt"
+
+	"repro/internal/intmath"
+)
+
+// Evaluator is the key-major batched evaluation kernel of the seed searches:
+// it binds a Family to a precomputed intmath.Reducer for p and evaluates the
+// family polynomial over a whole precomputed key vector per candidate seed.
+// Compared with calling Family.Eval once per key it (a) replaces every
+// per-coefficient 128/64-bit division with Barrett-style reciprocal
+// multiplication, (b) reduces the seed's coefficients once per EvalKeys call
+// instead of once per key, and (c) unrolls Horner for the ubiquitous
+// pairwise (k = 2) family of the matching/MIS selection steps.
+//
+// EvalKeys(seed, keys, out) is byte-identical to out[i] = Eval(seed, keys[i])
+// — the kernel is a speed change only, so every seed search that adopts it
+// stays inside the repository's bit-identical determinism contract (the
+// equivalence is fuzz-tested in evaluator_test.go).
+//
+// An Evaluator is immutable after construction and safe for concurrent use;
+// the per-worker objective states of the solvers share one per search.
+type Evaluator struct {
+	fam Family
+	red intmath.Reducer
+}
+
+// NewEvaluator returns the evaluation kernel bound to f.
+func NewEvaluator(f Family) *Evaluator {
+	if f.k < 1 {
+		panic("hashfam: NewEvaluator on zero Family")
+	}
+	return &Evaluator{fam: f, red: intmath.NewReducer(f.p)}
+}
+
+// Family returns the bound family.
+func (e *Evaluator) Family() Family { return e.fam }
+
+// EvalKeys writes out[i] = h_seed(keys[i]) for every key and returns
+// out[:len(keys)]. len(seed) must equal the family's SeedLen, every key must
+// be < P (the same contract as Eval), and len(out) must be at least
+// len(keys). Output slots beyond len(keys) and any dirty prior contents of
+// out are never read, so pooled per-worker buffers can be passed as-is.
+func (e *Evaluator) EvalKeys(seed, keys, out []uint64) []uint64 {
+	k := e.fam.k
+	if len(seed) != k {
+		panic(fmt.Sprintf("hashfam: seed length %d, want %d", len(seed), k))
+	}
+	if len(out) < len(keys) {
+		panic("hashfam: EvalKeys output shorter than key vector")
+	}
+	out = out[:len(keys)]
+	red := e.red
+	// Reduce the coefficients once per seed, not once per key. The stack
+	// array covers every k used in this repository (pairwise selection,
+	// KWise = 4 subsampling); larger families fall back to one allocation
+	// per batch, amortised over the whole key vector.
+	var cbuf [8]uint64
+	var c []uint64
+	if k <= len(cbuf) {
+		c = cbuf[:k]
+	} else {
+		c = make([]uint64, k)
+	}
+	for i, s := range seed {
+		c[i] = red.Mod(s)
+	}
+	switch k {
+	case 1:
+		for i := range keys {
+			out[i] = c[0]
+		}
+	case 2:
+		// Unrolled Horner for the pairwise family, coefficients in registers.
+		red.EvalPoly2(c[0], c[1], keys, out)
+	default:
+		red.EvalPoly(c, keys, out)
+	}
+	return out
+}
+
+// Eval is the scalar form of EvalKeys: h_seed(x) through the bound reducer.
+// It exists for one-off evaluations where building a key vector first would
+// not pay for itself, and as the reducer-path scalar reference the
+// equivalence tests pin against Family.Eval.
+func (e *Evaluator) Eval(seed []uint64, x uint64) uint64 {
+	k := e.fam.k
+	if len(seed) != k {
+		panic(fmt.Sprintf("hashfam: seed length %d, want %d", len(seed), k))
+	}
+	red := e.red
+	x = red.Mod(x)
+	acc := red.Mod(seed[k-1])
+	for j := k - 2; j >= 0; j-- {
+		acc = red.AddMod(red.MulMod(acc, x), red.Mod(seed[j]))
+	}
+	return acc
+}

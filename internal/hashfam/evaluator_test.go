@@ -1,0 +1,170 @@
+package hashfam
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// evaluatorFamilies covers both reducer regimes (field below and above 2^32)
+// and both family shapes the algorithms use (pairwise, 4-wise), plus k = 1
+// and a degree large enough to spill the Evaluator's stack coefficients.
+var evaluatorFamilies = []struct {
+	minField uint64
+	k        int
+}{
+	{2, 1},
+	{97, 2},
+	{1 << 20, 2},
+	{1 << 20, 4},
+	{(1 << 32) + 1, 2}, // wide reducer path
+	{(1 << 33) + 5, 4},
+	{1 << 10, 9}, // k beyond the stack coefficient buffer
+}
+
+// TestEvaluatorMatchesEval is the kernel's contract: EvalKeys over a dirty
+// output buffer is byte-identical to per-key Family.Eval.
+func TestEvaluatorMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range evaluatorFamilies {
+		f := New(tc.minField, tc.k)
+		ev := NewEvaluator(f)
+		if ev.Family() != f {
+			t.Fatalf("Family() mismatch")
+		}
+		seed := make([]uint64, f.SeedLen())
+		keys := make([]uint64, 513)
+		out := make([]uint64, len(keys))
+		for trial := 0; trial < 20; trial++ {
+			for i := range seed {
+				seed[i] = rng.Uint64() % f.P()
+			}
+			for i := range keys {
+				keys[i] = rng.Uint64() % f.P()
+			}
+			keys[0], keys[1] = 0, f.P()-1
+			for i := range out {
+				out[i] = ^uint64(0) // dirty prior contents must not leak
+			}
+			got := ev.EvalKeys(seed, keys, out)
+			if len(got) != len(keys) {
+				t.Fatalf("p=%d k=%d: EvalKeys returned %d values, want %d", f.P(), f.K(), len(got), len(keys))
+			}
+			for i, x := range keys {
+				want := f.Eval(seed, x)
+				if got[i] != want {
+					t.Fatalf("p=%d k=%d: key %d: EvalKeys = %d, Eval = %d", f.P(), f.K(), x, got[i], want)
+				}
+				if s := ev.Eval(seed, x); s != want {
+					t.Fatalf("p=%d k=%d: key %d: Evaluator.Eval = %d, Family.Eval = %d", f.P(), f.K(), x, s, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEvaluatorUnreducedSeed pins the seed-reduction semantics: EvalKeys
+// reduces coefficients mod p exactly like Eval does, so out-of-range seeds
+// (legal for Eval) agree too.
+func TestEvaluatorUnreducedSeed(t *testing.T) {
+	f := New(1<<20, 4)
+	ev := NewEvaluator(f)
+	seed := []uint64{^uint64(0), f.P(), f.P() + 1, 3*f.P() + 17}
+	keys := []uint64{0, 1, 12345, f.P() - 1}
+	out := make([]uint64, len(keys))
+	ev.EvalKeys(seed, keys, out)
+	for i, x := range keys {
+		if want := f.Eval(seed, x); out[i] != want {
+			t.Fatalf("key %d: EvalKeys = %d, Eval = %d", x, out[i], want)
+		}
+	}
+}
+
+func TestEvalKeysPanics(t *testing.T) {
+	f := New(97, 2)
+	ev := NewEvaluator(f)
+	for name, fn := range map[string]func(){
+		"short seed":   func() { ev.EvalKeys([]uint64{1}, []uint64{0}, make([]uint64, 1)) },
+		"short output": func() { ev.EvalKeys([]uint64{1, 2}, []uint64{0, 1}, make([]uint64, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// FuzzEvalKeysMatchesEval drives random families, seeds and keys through
+// both paths; any byte difference between the scalar fallback and the
+// batched kernel fails.
+func FuzzEvalKeysMatchesEval(f *testing.F) {
+	f.Add(uint64(1024), 2, uint64(12345), uint64(99))
+	f.Add(uint64(1)<<33, 4, uint64(1)<<40, ^uint64(0))
+	f.Add(uint64(2), 1, uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, minField uint64, k int, seedBase, keyBase uint64) {
+		if k < 1 || k > 12 {
+			return
+		}
+		if minField > 1<<40 {
+			minField = 1 << 40
+		}
+		fam := New(minField, k)
+		ev := NewEvaluator(fam)
+		seed := make([]uint64, k)
+		for i := range seed {
+			seed[i] = (seedBase*uint64(2*i+1) + 0x9E3779B9) % fam.P()
+		}
+		keys := make([]uint64, 64)
+		for i := range keys {
+			keys[i] = (keyBase*uint64(i+1) + uint64(i)*seedBase) % fam.P()
+		}
+		out := make([]uint64, len(keys))
+		for i := range out {
+			out[i] = keyBase // dirty
+		}
+		ev.EvalKeys(seed, keys, out)
+		for i, x := range keys {
+			if want := fam.Eval(seed, x); out[i] != want {
+				t.Fatalf("p=%d k=%d key=%d: kernel %d, scalar %d", fam.P(), k, x, out[i], want)
+			}
+		}
+	})
+}
+
+func BenchmarkEvalScalar(b *testing.B) {
+	f := New(1<<28, 2)
+	seed := []uint64{12345, 67890}
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = uint64(i) * 65537 % f.P()
+	}
+	out := make([]uint64, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, x := range keys {
+			out[j] = f.Eval(seed, x)
+		}
+	}
+	sink = out[0]
+}
+
+func BenchmarkEvalKeysKernel(b *testing.B) {
+	f := New(1<<28, 2)
+	ev := NewEvaluator(f)
+	seed := []uint64{12345, 67890}
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = uint64(i) * 65537 % f.P()
+	}
+	out := make([]uint64, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvalKeys(seed, keys, out)
+	}
+	sink = out[0]
+}
+
+var sink uint64

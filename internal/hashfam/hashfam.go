@@ -68,14 +68,20 @@ func (f Family) NumSeeds() (uint64, bool) {
 }
 
 // Eval evaluates the polynomial with the given coefficient seed at point x,
-// by Horner's rule. len(seed) must equal SeedLen and x must be < P.
+// by Horner's rule. len(seed) must equal SeedLen and x must be < P. Each
+// input is reduced exactly once (x hoisted out of the coefficient loop, each
+// coefficient as it is consumed); the hot seed searches use the batched
+// Evaluator kernel instead, which also removes the per-step division.
 func (f Family) Eval(seed []uint64, x uint64) uint64 {
 	if len(seed) != f.k {
 		panic(fmt.Sprintf("hashfam: seed length %d, want %d", len(seed), f.k))
 	}
+	if x >= f.p {
+		x %= f.p
+	}
 	acc := seed[f.k-1] % f.p
 	for i := f.k - 2; i >= 0; i-- {
-		acc = intmath.AddMod(intmath.MulMod(acc, x%f.p, f.p), seed[i], f.p)
+		acc = intmath.AddMod(intmath.MulMod(acc, x, f.p), seed[i]%f.p, f.p)
 	}
 	return acc
 }

@@ -17,11 +17,11 @@ func MulMod(a, b, m uint64) uint64 {
 	return rem
 }
 
-// AddMod returns (a+b) mod m without overflow for any a, b < m.
+// AddMod returns (a+b) mod m without overflow for any a, b < m. The
+// precondition is the caller's responsibility — no defensive reduction is
+// performed, so the function is two compares and an add/sub on the hot path.
 func AddMod(a, b, m uint64) uint64 {
-	a %= m
-	b %= m
-	if a >= m-b && b != 0 {
+	if b != 0 && a >= m-b {
 		return a - (m - b)
 	}
 	return a + b

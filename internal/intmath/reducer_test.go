@@ -1,0 +1,169 @@
+package intmath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// reducerModuli is the boundary set the Reducer's two regimes pivot on: the
+// small/wide switch at 2^32, the normalization shift hitting 0 at 2^63, and
+// the extremes of the uint64 range.
+var reducerModuli = []uint64{
+	1, 2, 3, 5, 7, 1024,
+	(1 << 32) - 5, (1 << 32) - 1, 1 << 32, (1 << 32) + 1, (1 << 32) + 15,
+	(1 << 33) + 3,
+	(1 << 63) - 259, (1 << 63) - 1, 1 << 63, (1 << 63) + 29,
+	^uint64(0) - 58, ^uint64(0), // 2^64-59 is the largest uint64 prime
+}
+
+func TestReducerMulModMatchesMulMod(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range reducerModuli {
+		r := NewReducer(m)
+		if r.M() != m {
+			t.Fatalf("m=%d: M() = %d", m, r.M())
+		}
+		check := func(a, b uint64) {
+			t.Helper()
+			if got, want := r.MulMod(a, b), MulMod(a, b, m); got != want {
+				t.Fatalf("m=%d: Reducer.MulMod(%d, %d) = %d, want %d", m, a, b, got, want)
+			}
+			if got, want := r.AddMod(a, b), AddMod(a, b, m); got != want {
+				t.Fatalf("m=%d: Reducer.AddMod(%d, %d) = %d, want %d", m, a, b, got, want)
+			}
+		}
+		// Boundary operands: 0, 1, m-1, m/2 and neighbours.
+		bounds := []uint64{0, 1, 2, m / 2, m - 1}
+		if m == 1 {
+			bounds = []uint64{0}
+		}
+		for _, a := range bounds {
+			for _, b := range bounds {
+				if a < m && b < m {
+					check(a, b)
+				}
+			}
+		}
+		for i := 0; i < 2000; i++ {
+			check(rng.Uint64()%m, rng.Uint64()%m)
+		}
+	}
+}
+
+func TestReducerModMatchesPercent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range reducerModuli {
+		r := NewReducer(m)
+		ns := []uint64{0, 1, m - 1, m, m + 1, 2*m - 1, 2 * m, ^uint64(0), ^uint64(0) - 1}
+		for i := 0; i < 2000; i++ {
+			ns = append(ns[:9], rng.Uint64())
+			for _, n := range ns {
+				if got, want := r.Mod(n), n%m; got != want {
+					t.Fatalf("m=%d: Mod(%d) = %d, want %d", m, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestReducerEvalPolyMatchesScalar checks the batched Horner loops against
+// the scalar MulMod/AddMod composition on every boundary modulus, for the
+// degrees the repository uses (pairwise and 4-wise) plus an odd higher one.
+func TestReducerEvalPolyMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range reducerModuli {
+		r := NewReducer(m)
+		keys := make([]uint64, 257)
+		for i := range keys {
+			keys[i] = rng.Uint64() % m
+		}
+		keys[0], keys[len(keys)-1] = 0, m-1
+		for _, k := range []int{2, 4, 5} {
+			c := make([]uint64, k)
+			for i := range c {
+				c[i] = rng.Uint64() % m
+			}
+			out := make([]uint64, len(keys))
+			for i := range out {
+				out[i] = 0xDEADBEEF // dirty: every slot must be rewritten
+			}
+			if k == 2 {
+				r.EvalPoly2(c[0], c[1], keys, out)
+			} else {
+				r.EvalPoly(c, keys, out)
+			}
+			for i, x := range keys {
+				want := c[k-1]
+				for j := k - 2; j >= 0; j-- {
+					want = AddMod(MulMod(want, x, m), c[j], m)
+				}
+				if out[i] != want {
+					t.Fatalf("m=%d k=%d: key %d: got %d, want %d", m, k, x, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestNewReducerZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewReducer(0) did not panic")
+		}
+	}()
+	NewReducer(0)
+}
+
+// FuzzReducer cross-checks both Reducer operations against the generic
+// bits.Div64-based originals on arbitrary (m, a, b).
+func FuzzReducer(f *testing.F) {
+	f.Add(uint64(3), uint64(1), uint64(2))
+	f.Add(uint64(1)<<32, uint64(1<<31), uint64((1<<32)-1))
+	f.Add((uint64(1)<<63)+29, uint64(1)<<62, (uint64(1)<<63)+28)
+	f.Add(^uint64(0), ^uint64(0)-1, ^uint64(0)-2)
+	f.Fuzz(func(t *testing.T, m, a, b uint64) {
+		if m == 0 {
+			return
+		}
+		a, b = a%m, b%m
+		r := NewReducer(m)
+		if got, want := r.MulMod(a, b), MulMod(a, b, m); got != want {
+			t.Fatalf("m=%d: MulMod(%d, %d) = %d, want %d", m, a, b, got, want)
+		}
+		if got, want := r.AddMod(a, b), AddMod(a, b, m); got != want {
+			t.Fatalf("m=%d: AddMod(%d, %d) = %d, want %d", m, a, b, got, want)
+		}
+		if got, want := r.Mod(a+b), (a+b)%m; a+b >= a && got != want {
+			t.Fatalf("m=%d: Mod(%d) = %d, want %d", m, a+b, got, want)
+		}
+	})
+}
+
+func BenchmarkMulModDiv64(b *testing.B) {
+	const m = 1<<63 - 259
+	acc := uint64(12345)
+	for i := 0; i < b.N; i++ {
+		acc = MulMod(acc, acc|1, m)
+	}
+	sinkU64 = acc
+}
+
+func BenchmarkReducerMulModWide(b *testing.B) {
+	r := NewReducer(1<<63 - 259)
+	acc := uint64(12345)
+	for i := 0; i < b.N; i++ {
+		acc = r.MulMod(acc, acc|1)
+	}
+	sinkU64 = acc
+}
+
+func BenchmarkReducerMulModSmall(b *testing.B) {
+	r := NewReducer(1<<31 - 1)
+	acc := uint64(12345)
+	for i := 0; i < b.N; i++ {
+		acc = r.MulMod(acc, acc|1)
+	}
+	sinkU64 = acc
+}
+
+var sinkU64 uint64

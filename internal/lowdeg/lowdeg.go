@@ -119,12 +119,14 @@ func MIS(g *graph.Graph, p core.Params, model *simcost.Model) *Result {
 
 // lowdegEval is the per-worker pooled state of one candidate-seed objective
 // evaluation: the I_h buffer, the removed-node mask of removedEdgesMasked
-// (touched entries are reset after each use), and a permanent z-closure
-// reading the current seed through the seed field (so an evaluation
-// allocates nothing).
+// (touched entries are reset after each use), the per-seed z vector of the
+// kernel path, and (for the scalar reference path) a permanent z-closure
+// reading the current seed through the seed field. Either way an
+// evaluation allocates nothing.
 type lowdegEval struct {
 	ih     []graph.NodeID
 	remove []bool
+	z      []uint64 // kernel path: EvalKeys output over the colour key vector
 	seed   []uint64
 	zf     func(graph.NodeID) uint64
 }
@@ -173,6 +175,14 @@ func MISIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Mo
 		alive[v] = true
 	}
 	inMIS := make([]bool, n)
+	evaluator := hashfam.NewEvaluator(fam)
+	// The per-node hash keys are the (solve-invariant) G² colours, so the
+	// kernel path computes the key vector once; each candidate seed is one
+	// EvalKeys pass over it.
+	colorKeys := make([]uint64, n)
+	for v, c := range col.Colors {
+		colorKeys[v] = uint64(c)
+	}
 	evalPool := scratch.NewPerWorker(func() *lowdegEval {
 		ev := &lowdegEval{remove: make([]bool, n)}
 		ev.zf = func(v graph.NodeID) uint64 {
@@ -180,6 +190,16 @@ func MISIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Mo
 		}
 		return ev
 	})
+	// localMin computes I_h for one seed into dst, through the kernel or
+	// the scalar closure reference.
+	localMin := func(ev *lowdegEval, dst []graph.NodeID, q *graph.Graph, seed []uint64) []graph.NodeID {
+		if p.ScalarObjectives {
+			ev.seed = seed
+			return core.LocalMinNodesInto(dst, q, alive, ev.zf)
+		}
+		ev.z = graph.Grow(ev.z, n)
+		return core.LocalMinNodesZ(dst, q, alive, evaluator.EvalKeys(seed, colorKeys, ev.z))
+	}
 
 	joinIsolated := func() {
 		for v := 0; v < n; v++ {
@@ -200,13 +220,14 @@ func MISIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Mo
 		for phase := 1; phase <= ell && cur.M() > 0; phase++ {
 			st := PhaseStats{Stage: stage, Phase: phase, EdgesBefore: cur.M()}
 
-			objective := func(seed []uint64) int64 {
-				ev := evalPool.Get()
-				ev.seed = seed
-				ev.ih = core.LocalMinNodesInto(ev.ih, cur, alive, ev.zf)
-				removed := int64(removedEdgesMasked(cur, ev.ih, ev.remove))
-				evalPool.Put(ev)
-				return removed
+			curG := cur
+			objective := func(seeds [][]uint64, values []int64) {
+				parallel.ForEach(p.Workers(), len(seeds), func(i int) {
+					ev := evalPool.Get()
+					ev.ih = localMin(ev, ev.ih, curG, seeds[i])
+					values[i] = int64(removedEdgesMasked(curG, ev.ih, ev.remove))
+					evalPool.Put(ev)
+				})
 			}
 			// Luby's pairwise analysis guarantees E[removed] >= |E|/108
 			// (the Lemma 13 constant); demand the configured fraction.
@@ -214,7 +235,7 @@ func MISIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Mo
 			if threshold < 1 {
 				threshold = 1
 			}
-			search, err := condexp.SearchAtLeast(fam, objective, threshold, condexp.Options{
+			search, err := condexp.SearchAtLeastBatch(fam, objective, threshold, condexp.Options{
 				Model:    model,
 				Label:    "lowdeg.seed",
 				MaxSeeds: p.MaxSeedsPerSearch,
@@ -227,8 +248,7 @@ func MISIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Mo
 			st.SeedFound = search.Found
 
 			fin := evalPool.Get()
-			fin.seed = search.Seed
-			ih := core.LocalMinNodesInto(sc.NodeIDsCap(n), cur, alive, fin.zf)
+			ih := localMin(fin, sc.NodeIDsCap(n), cur, search.Seed)
 			evalPool.Put(fin)
 			st.Selected = len(ih)
 			remove := sc.Bools(n)

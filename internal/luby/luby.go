@@ -8,9 +8,9 @@ package luby
 
 import (
 	"repro/internal/check"
+	"repro/internal/core"
 	"repro/internal/detrand"
 	"repro/internal/graph"
-	"repro/internal/parallel"
 	"repro/internal/scratch"
 )
 
@@ -34,19 +34,23 @@ type MISResult struct {
 // leave the graph. Terminates when no edges remain; isolated nodes join.
 func MIS(g *graph.Graph, src *detrand.Source) *MISResult { return MISW(g, src, 0) }
 
-// MISW is MIS with the per-vertex candidate evaluation sharded over up to
-// `workers` host workers (0 = GOMAXPROCS, 1 = serial). The z draws stay
-// serial in id order (they consume the deterministic source) and each
-// vertex's local-minimum test reads only the immutable round state (z and
-// the current graph), so the output is identical at any worker count.
+// MISW is MIS with the per-round graph rebuild sharded over up to `workers`
+// host workers (0 = GOMAXPROCS, 1 = serial). The z draws stay serial in id
+// order (they consume the deterministic source) and the candidate selection
+// runs through the serial z-vector kernel (core.LocalMinNodesZ), so the
+// output is identical at any worker count.
 func MISW(g *graph.Graph, src *detrand.Source, workers int) *MISResult {
 	return MISIn(scratch.New(), g, src, workers)
 }
 
-// MISIn is MISW drawing the per-round z table and removal mask from sc and
-// ping-ponging the shrinking graph between sc's two loop CSR buffers. The
-// output is identical to MISW for any prior state of sc; sc is Reset at
-// every round boundary and left Reset on return.
+// MISIn is MISW drawing the per-round z table, candidate buffer and removal
+// mask from sc and ping-ponging the shrinking graph between sc's two loop
+// CSR buffers. The per-round candidate set is the z-vector local-minimum
+// selection shared with the derandomized solvers (core.LocalMinNodesZ) —
+// after the isolated-join every alive node has degree > 0 and every
+// neighbour in cur is alive, so the selection is exactly Luby's rule. The
+// output is identical to MISW for any prior state of sc and any worker
+// count; sc is Reset at every round boundary and left Reset on return.
 func MISIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source, workers int) *MISResult {
 	n := g.N()
 	res := &MISResult{}
@@ -56,7 +60,6 @@ func MISIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source, workers int
 		alive[v] = true
 	}
 	inMIS := make([]bool, n)
-	sel := make([]bool, n)
 
 	for round := 1; ; round++ {
 		for v := 0; v < n; v++ {
@@ -75,32 +78,16 @@ func MISIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source, workers int
 				z[v] = src.Uint64()
 			}
 		}
-		parallel.ForEach(workers, n, func(v int) {
-			sel[v] = false
-			if !alive[v] || cur.Degree(graph.NodeID(v)) == 0 {
-				return
-			}
-			for _, u := range cur.Neighbors(graph.NodeID(v)) {
-				if z[u] < z[v] || (z[u] == z[v] && u < graph.NodeID(v)) {
-					return
-				}
-			}
-			sel[v] = true
-		})
+		ih := core.LocalMinNodesZ(sc.NodeIDsCap(n), cur, alive, z)
+		st.Selected = len(ih)
 		remove := sc.Bools(n)
-		for v := 0; v < n; v++ {
-			if sel[v] {
-				inMIS[v] = true
-				alive[v] = false
-				remove[v] = true
-				st.Selected++
-			}
+		for _, v := range ih {
+			inMIS[v] = true
+			alive[v] = false
+			remove[v] = true
 		}
-		for v := 0; v < n; v++ {
-			if !remove[v] || !inMIS[v] {
-				continue
-			}
-			for _, u := range cur.Neighbors(graph.NodeID(v)) {
+		for _, v := range ih {
+			for _, u := range cur.Neighbors(v) {
 				if alive[u] {
 					alive[u] = false
 					remove[u] = true
@@ -133,56 +120,39 @@ func MaximalMatching(g *graph.Graph, src *detrand.Source) *MatchingResult {
 	return MaximalMatchingW(g, src, 0)
 }
 
-// MaximalMatchingW is MaximalMatching with the per-edge local-minimum test
+// MaximalMatchingW is MaximalMatching with the per-round graph rebuild
 // sharded over up to `workers` host workers (0 = GOMAXPROCS, 1 = serial).
-// The z draws stay serial in canonical edge order; each edge's test reads
-// only the round's immutable z table, and winners are collected in edge
-// order, so the output is identical at any worker count.
+// The z draws stay serial in canonical edge order and winners come from the
+// serial two-pass z-vector kernel (core.LocalMinEdgesZ) in edge order, so
+// the output is identical at any worker count.
 func MaximalMatchingW(g *graph.Graph, src *detrand.Source, workers int) *MatchingResult {
 	return MaximalMatchingIn(scratch.New(), g, src, workers)
 }
 
-// MaximalMatchingIn is MaximalMatchingW drawing the per-round edge list and
-// masks from sc and ping-ponging the shrinking graph between sc's two loop
-// CSR buffers. The output is identical to MaximalMatchingW for any prior
-// state of sc; sc is Reset at every round boundary and left Reset on
-// return.
+// MaximalMatchingIn is MaximalMatchingW drawing the per-round edge list, z
+// vector and masks from sc and ping-ponging the shrinking graph between
+// sc's two loop CSR buffers. The per-round z values live in a vector
+// parallel to the canonical edge list (drawn in edge order, exactly as the
+// old per-edge map was filled) and winners come from the same two-pass
+// local-minimum kernel the derandomized solvers use (core.LocalMinEdgesZ),
+// which replaced a per-round hash map — the selection compares (z, edge
+// key) pairs identically, so outputs are unchanged. The output is identical
+// to MaximalMatchingW for any prior state of sc and any worker count; sc is
+// Reset at every round boundary and left Reset on return.
 func MaximalMatchingIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source, workers int) *MatchingResult {
 	res := &MatchingResult{}
 	cur := g
 	n := g.N()
+	var lm core.EdgeMinScratch
 	for round := 1; cur.M() > 0; round++ {
 		st := RoundStats{Round: round, EdgesBefore: cur.M()}
 		edges := cur.EdgesAppend(sc.EdgesCap(cur.M()))
-		z := make(map[graph.Edge]uint64, len(edges))
-		for _, e := range edges {
-			z[e] = src.Uint64()
+		z := sc.Uint64s(len(edges))
+		for i := range edges {
+			z[i] = src.Uint64()
 		}
-		isMin := sc.Bools(len(edges))
-		parallel.ForEach(workers, len(edges), func(idx int) {
-			e := edges[idx]
-			ze := z[e]
-			for _, end := range [2]graph.NodeID{e.U, e.V} {
-				for _, u := range cur.Neighbors(end) {
-					other := graph.Edge{U: end, V: u}.Canon()
-					if other == e {
-						continue
-					}
-					zo := z[other]
-					if zo < ze || (zo == ze && other.Key(n) < e.Key(n)) {
-						return
-					}
-				}
-			}
-			isMin[idx] = true
-		})
+		picked := core.LocalMinEdgesZ(&lm, cur, edges, z)
 		matched := sc.Bools(n)
-		var picked []graph.Edge
-		for idx, e := range edges {
-			if isMin[idx] {
-				picked = append(picked, e)
-			}
-		}
 		for _, e := range picked {
 			matched[e.U] = true
 			matched[e.V] = true

@@ -26,6 +26,7 @@ import (
 	"repro/internal/condexp"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/hashfam"
 	"repro/internal/parallel"
 	"repro/internal/scratch"
 	"repro/internal/simcost"
@@ -52,10 +53,12 @@ type IterStats struct {
 }
 
 // mmEval is the per-worker pooled state of one candidate-seed objective
-// evaluation: the local-minimum selection scratch plus a permanent
+// evaluation: the local-minimum selection scratch, the per-seed z vector of
+// the kernel path, and (for the scalar reference path) a permanent
 // z-closure reading the current seed through the seed field.
 type mmEval struct {
 	lm   core.EdgeMinScratch
+	z    []uint64 // kernel path: EvalKeys output over the round's key vector
 	seed []uint64
 	zf   func(graph.Edge) uint64
 }
@@ -92,12 +95,14 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 	cur := g
 	n := g.N()
 	fam := core.PairwiseFamily(n)
+	evaluator := hashfam.NewEvaluator(fam)
 	// One selection scratch per worker serves every candidate-seed
 	// evaluation of every round (buffers are sized by round 1, the
-	// largest). Each holds its z-closure permanently and swaps the seed it
-	// reads through the Seed field, so an evaluation allocates nothing —
-	// a per-seed closure would otherwise dominate the allocation count of
-	// the whole solve.
+	// largest). The kernel path evaluates each seed over the round's shared
+	// key vector into the pooled z buffer (one EvalKeys pass, no per-edge
+	// closure); the scalar reference path holds its z-closure permanently
+	// and swaps the seed it reads through the seed field. Either way an
+	// evaluation allocates nothing.
 	lmPool := scratch.NewPerWorker(func() *mmEval {
 		ev := &mmEval{}
 		ev.zf = func(e graph.Edge) uint64 {
@@ -124,23 +129,39 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 		model.AssertMachineWords(st.MaxBallWords, "mm.2hop")
 		model.ChargeRounds(2, "mm.collect") // sort + request round (§2.2)
 
-		// Derandomized Luby step on E* (Section 3.3).
+		// Derandomized Luby step on E* (Section 3.3). The slot-0 edge keys
+		// are seed-independent, so they are computed once per round; every
+		// candidate seed then costs one EvalKeys pass plus the selection
+		// scan.
 		deg := sp.Deg
-		objective := func(seed []uint64) int64 {
-			ev := lmPool.Get()
-			ev.seed = seed
-			eh := core.LocalMinEdgesInto(&ev.lm, estar, estarEdges, ev.zf)
-			var value int64
+		keys := core.SlotKeysInto(sc.Uint64sCap(len(estarEdges)), estarEdges, 0, n)
+		value := func(eh []graph.Edge) int64 {
+			var v int64
 			for _, e := range eh {
 				if sp.B[e.U] {
-					value += int64(deg[e.U])
+					v += int64(deg[e.U])
 				}
 				if sp.B[e.V] {
-					value += int64(deg[e.V])
+					v += int64(deg[e.V])
 				}
 			}
-			lmPool.Put(ev)
-			return value
+			return v
+		}
+		evalSeed := func(seed []uint64) (*mmEval, []graph.Edge) {
+			ev := lmPool.Get()
+			if p.ScalarObjectives {
+				ev.seed = seed
+				return ev, core.LocalMinEdgesInto(&ev.lm, estar, estarEdges, ev.zf)
+			}
+			ev.z = graph.Grow(ev.z, len(keys))
+			return ev, core.LocalMinEdgesZ(&ev.lm, estar, estarEdges, evaluator.EvalKeys(seed, keys, ev.z))
+		}
+		objective := func(seeds [][]uint64, values []int64) {
+			parallel.ForEach(p.Workers(), len(seeds), func(i int) {
+				ev, eh := evalSeed(seeds[i])
+				values[i] = value(eh)
+				lmPool.Put(ev)
+			})
 		}
 		// Lemma 13 ⇒ E_h[Σ_{v∈N_h} d(v)] >= Σ_{v∈B} d(v)/109; we demand a
 		// ThresholdFrac fraction of that.
@@ -148,7 +169,7 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 		if st.Threshold < 1 {
 			st.Threshold = 1
 		}
-		search, err := condexp.SearchAtLeast(fam, objective, st.Threshold, condexp.Options{
+		search, err := condexp.SearchAtLeastBatch(fam, objective, st.Threshold, condexp.Options{
 			Model:    model,
 			Label:    "mm.seed",
 			MaxSeeds: p.MaxSeedsPerSearch,
@@ -161,9 +182,7 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 		st.SeedFound = search.Found
 		st.ObjectiveValue = search.Value
 
-		ev := lmPool.Get()
-		ev.seed = search.Seed
-		eh := core.LocalMinEdgesInto(&ev.lm, estar, estarEdges, ev.zf)
+		ev, eh := evalSeed(search.Seed)
 		if len(eh) == 0 {
 			// Unconditional-progress fallback: match the smallest-key edge.
 			eh = []graph.Edge{smallestEdge(cur)}

@@ -25,6 +25,8 @@ import (
 	"repro/internal/condexp"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/hashfam"
+	"repro/internal/parallel"
 	"repro/internal/scratch"
 	"repro/internal/simcost"
 	"repro/internal/sparsify"
@@ -66,11 +68,13 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 
 // misEval is the per-worker pooled state of one candidate-seed objective
 // evaluation: the I_h membership mask (touched entries are reset after each
-// use), the I_h node buffer, and a permanent z-closure reading the current
-// seed through the seed field (so an evaluation allocates nothing).
+// use), the I_h node buffer, the per-seed z vector of the kernel path, and
+// (for the scalar reference path) a permanent z-closure reading the current
+// seed through the seed field. Either way an evaluation allocates nothing.
 type misEval struct {
 	inIh []bool
 	ih   []graph.NodeID
+	z    []uint64 // kernel path: EvalKeys output over the node key vector
 	seed []uint64
 	zf   func(graph.NodeID) uint64
 }
@@ -98,6 +102,11 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 	}
 	inMIS := make([]bool, n)
 	fam := core.PairwiseFamily(n)
+	evaluator := hashfam.NewEvaluator(fam)
+	// The slot-0 node keys are round-invariant (the id space never
+	// shrinks), so the kernel path computes the key vector once per solve;
+	// each candidate seed costs one EvalKeys pass over it.
+	nodeKeys := core.NodeSlotKeysInto(make([]uint64, 0, n), 0, n)
 	gamma := core.NewDegreeClasses(n, p.InvDelta).GroupSize()
 	evalPool := scratch.NewPerWorker(func() *misEval {
 		ev := &misEval{inIh: make([]bool, n)}
@@ -106,6 +115,16 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 		}
 		return ev
 	})
+	// localMin computes I_h for one seed into dst, through the kernel (z
+	// vector shared via ev.z) or the scalar closure reference.
+	localMin := func(ev *misEval, dst []graph.NodeID, q *graph.Graph, inQ []bool, seed []uint64) []graph.NodeID {
+		if p.ScalarObjectives {
+			ev.seed = seed
+			return core.LocalMinNodesInto(dst, q, inQ, ev.zf)
+		}
+		ev.z = graph.Grow(ev.z, n)
+		return core.LocalMinNodesZ(dst, q, inQ, evaluator.EvalKeys(seed, nodeKeys, ev.z))
+	}
 
 	joinIsolated := func(st *IterStats) {
 		for v := 0; v < n; v++ {
@@ -178,37 +197,38 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 		model.ChargeRounds(2, "mis.collect")
 
 		deg := sp.Deg
-		objective := func(seed []uint64) int64 {
-			ev := evalPool.Get()
-			ev.seed = seed
-			ih := core.LocalMinNodesInto(ev.ih, q, sp.Q, ev.zf)
-			ev.ih = ih
-			for _, v := range ih {
-				ev.inIh[v] = true
-			}
-			var value int64
-			for t := range nvOwner {
-				for _, u := range nvFlat[nvStart[t]:nvStart[t+1]] {
-					if ev.inIh[u] {
-						value += int64(deg[nvOwner[t]])
-						break
+		objective := func(seeds [][]uint64, values []int64) {
+			parallel.ForEach(p.Workers(), len(seeds), func(i int) {
+				ev := evalPool.Get()
+				ih := localMin(ev, ev.ih, q, sp.Q, seeds[i])
+				ev.ih = ih
+				for _, v := range ih {
+					ev.inIh[v] = true
+				}
+				var value int64
+				for t := range nvOwner {
+					for _, u := range nvFlat[nvStart[t]:nvStart[t+1]] {
+						if ev.inIh[u] {
+							value += int64(deg[nvOwner[t]])
+							break
+						}
 					}
 				}
-			}
-			// Reset only the touched mask entries so the pooled buffer is
-			// clean for the next evaluation at O(|I_h|) cost.
-			for _, v := range ih {
-				ev.inIh[v] = false
-			}
-			evalPool.Put(ev)
-			return value
+				// Reset only the touched mask entries so the pooled buffer is
+				// clean for the next evaluation at O(|I_h|) cost.
+				for _, v := range ih {
+					ev.inIh[v] = false
+				}
+				evalPool.Put(ev)
+				values[i] = value
+			})
 		}
 		// Lemma 21 ⇒ E[Σ_{v∈N_h} d(v)] >= 0.01δ·Σ_{v∈B} d(v).
 		st.Threshold = int64(p.ThresholdFrac * 0.01 * p.Delta() * float64(sp.BWeight))
 		if st.Threshold < 1 {
 			st.Threshold = 1
 		}
-		search, err := condexp.SearchAtLeast(fam, objective, st.Threshold, condexp.Options{
+		search, err := condexp.SearchAtLeastBatch(fam, objective, st.Threshold, condexp.Options{
 			Model:    model,
 			Label:    "mis.seed",
 			MaxSeeds: p.MaxSeedsPerSearch,
@@ -222,8 +242,7 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 		st.ObjectiveValue = search.Value
 
 		fin := evalPool.Get()
-		fin.seed = search.Seed
-		ih := core.LocalMinNodesInto(sc.NodeIDsCap(n), q, sp.Q, fin.zf)
+		ih := localMin(fin, sc.NodeIDsCap(n), q, sp.Q, search.Seed)
 		evalPool.Put(fin)
 		st.Selected = len(ih)
 		remove := sc.Bools(n)

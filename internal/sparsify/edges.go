@@ -6,6 +6,7 @@ import (
 	"repro/internal/condexp"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/hashfam"
 	"repro/internal/parallel"
 	"repro/internal/scratch"
 	"repro/internal/simcost"
@@ -215,39 +216,55 @@ func runEdgeStage(sc *scratch.Context, g, curG *graph.Graph, cur []graph.Edge, b
 	}
 	model.ChargeSort("sparsify.distribute") // spread incident edges over machines
 
-	// Goodness objective: number of good groups under the seed. The sample
-	// mask is per-worker pooled — candidate seeds are evaluated concurrently
-	// and every slot is rewritten per evaluation, so reuse is unobservable.
-	samplePool := scratch.NewPerWorker(func() *[]bool {
-		buf := make([]bool, len(keys))
+	// Goodness objective: number of good groups under the seed. The kernel
+	// path evaluates each candidate seed over the flattened key vector in
+	// one EvalKeys pass into a per-worker pooled z buffer; the scalar
+	// reference path calls fam.Eval once per key. Every slot is rewritten
+	// per evaluation, so pooled reuse is unobservable either way.
+	evaluator := hashfam.NewEvaluator(fam)
+	zPool := scratch.NewPerWorker(func() *[]uint64 {
+		buf := make([]uint64, len(keys))
 		return &buf
 	})
-	goodGroups := func(seed []uint64) int64 {
-		maskp := samplePool.Get()
-		inSample := (*maskp)[:len(keys)]
-		for t, k := range keys {
-			inSample[t] = fam.Eval(seed, k) < th
-		}
+	countGood := func(z []uint64) int64 {
 		var good int64
 		for _, gr := range groups {
 			ex := gr.end - gr.start
-			z := 0
+			zc := 0
 			for t := gr.start; t < gr.end; t++ {
-				if inSample[t] {
-					z++
+				if z[t] < th {
+					zc++
 				}
 			}
 			mu := float64(ex) * sampleProb
 			dev := p.Slack * dc.DevTerm(ex)
-			if float64(z) >= mu-dev && float64(z) <= mu+dev {
+			if float64(zc) >= mu-dev && float64(zc) <= mu+dev {
 				good++
 			}
 		}
-		samplePool.Put(maskp)
 		return good
 	}
+	goodGroups := func(seed []uint64) int64 {
+		zp := zPool.Get()
+		z := (*zp)[:len(keys)]
+		if p.ScalarObjectives {
+			for t, k := range keys {
+				z[t] = fam.Eval(seed, k)
+			}
+		} else {
+			evaluator.EvalKeys(seed, keys, z)
+		}
+		good := countGood(z)
+		zPool.Put(zp)
+		return good
+	}
+	objective := func(seeds [][]uint64, values []int64) {
+		parallel.ForEach(p.Workers(), len(seeds), func(i int) {
+			values[i] = goodGroups(seeds[i])
+		})
+	}
 
-	res, err := condexp.SearchAtLeast(fam, goodGroups, int64(len(groups)), condexp.Options{
+	res, err := condexp.SearchAtLeastBatch(fam, objective, int64(len(groups)), condexp.Options{
 		Model:     model,
 		Label:     "sparsify.seed",
 		MaxSeeds:  p.MaxSeedsPerSearch,
@@ -259,14 +276,17 @@ func runEdgeStage(sc *scratch.Context, g, curG *graph.Graph, cur []graph.Edge, b
 		panic(err)
 	}
 
-	// Apply the selected seed: E_j = {e ∈ E_{j-1} : h(e) < th}. Shards
-	// filter independent edge ranges; concatenation in shard order keeps
-	// the canonical edge order of the serial scan.
+	// Apply the selected seed: E_j = {e ∈ E_{j-1} : h(e) < th}, one
+	// EvalKeys pass over this stage's per-edge keys. Shards filter
+	// independent edge ranges; concatenation in shard order keeps the
+	// canonical edge order of the serial scan.
+	curKeys := core.SlotKeysInto(sc.Uint64sCap(len(cur)), cur, j, n)
+	curZ := evaluator.EvalKeys(res.Seed, curKeys, sc.Uint64s(len(cur)))
 	next := parallel.Collect(p.Workers(), len(cur), func(lo, hi int) []graph.Edge {
 		var part []graph.Edge
-		for _, e := range cur[lo:hi] {
-			if fam.Eval(res.Seed, core.SlotKey(e.Key(n), j, n)) < th {
-				part = append(part, e)
+		for idx := lo; idx < hi; idx++ {
+			if curZ[idx] < th {
+				part = append(part, cur[idx])
 			}
 		}
 		return part

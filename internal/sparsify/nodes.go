@@ -6,6 +6,7 @@ import (
 	"repro/internal/condexp"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/hashfam"
 	"repro/internal/parallel"
 	"repro/internal/scratch"
 	"repro/internal/simcost"
@@ -192,31 +193,29 @@ func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
 	// Bellare-Rompel application (variables Z_u = n^{(i-1)δ}/d(u)).
 	devB := math.Pow(float64(n), (0.9-float64(i))/float64(dc.K))
 
-	// Per-worker pooled sample mask: candidate seeds are evaluated
-	// concurrently and every slot is rewritten per evaluation.
-	samplePool := scratch.NewPerWorker(func() *[]bool {
-		buf := make([]bool, len(keys))
+	// Goodness objective through the kernel: one EvalKeys pass over the
+	// flattened key vector into a per-worker pooled z buffer per candidate
+	// seed (the scalar reference path calls fam.Eval once per key). Every
+	// slot is rewritten per evaluation, so pooled reuse is unobservable.
+	evaluator := hashfam.NewEvaluator(fam)
+	zPool := scratch.NewPerWorker(func() *[]uint64 {
+		buf := make([]uint64, len(keys))
 		return &buf
 	})
-	goodGroups := func(seed []uint64) int64 {
-		maskp := samplePool.Get()
-		inSample := (*maskp)[:len(keys)]
-		for t, k := range keys {
-			inSample[t] = fam.Eval(seed, k) < th
-		}
+	countGood := func(z []uint64) int64 {
 		var good int64
 		for _, gr := range groups {
 			ex := gr.end - gr.start
 			if gr.kind == 0 {
-				z := 0
+				zc := 0
 				for t := gr.start; t < gr.end; t++ {
-					if inSample[t] {
-						z++
+					if z[t] < th {
+						zc++
 					}
 				}
 				mu := float64(ex) * sampleProb
 				dev := p.Slack * dc.DevTerm(ex)
-				if float64(z) <= mu+dev {
+				if float64(zc) <= mu+dev {
 					good++
 				}
 				continue
@@ -224,7 +223,7 @@ func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
 			var zw, total float64
 			for t := gr.start; t < gr.end; t++ {
 				total += weightsOf[t]
-				if inSample[t] {
+				if z[t] < th {
 					zw += weightsOf[t]
 				}
 			}
@@ -233,11 +232,29 @@ func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
 				good++
 			}
 		}
-		samplePool.Put(maskp)
 		return good
 	}
+	goodGroups := func(seed []uint64) int64 {
+		zp := zPool.Get()
+		z := (*zp)[:len(keys)]
+		if p.ScalarObjectives {
+			for t, k := range keys {
+				z[t] = fam.Eval(seed, k)
+			}
+		} else {
+			evaluator.EvalKeys(seed, keys, z)
+		}
+		good := countGood(z)
+		zPool.Put(zp)
+		return good
+	}
+	objective := func(seeds [][]uint64, values []int64) {
+		parallel.ForEach(p.Workers(), len(seeds), func(i int) {
+			values[i] = goodGroups(seeds[i])
+		})
+	}
 
-	res, err := condexp.SearchAtLeast(fam, goodGroups, int64(len(groups)), condexp.Options{
+	res, err := condexp.SearchAtLeastBatch(fam, objective, int64(len(groups)), condexp.Options{
 		Model:     model,
 		Label:     "sparsify.seed",
 		MaxSeeds:  p.MaxSeedsPerSearch,
@@ -248,10 +265,14 @@ func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
 		panic(err)
 	}
 
+	// Apply the selected seed: one EvalKeys pass over this stage's node
+	// keys, then a sharded mask update.
 	workers := p.Workers()
+	applyKeys := core.NodeSlotKeysInto(sc.Uint64sCap(n), j, n)
+	applyZ := evaluator.EvalKeys(res.Seed, applyKeys, sc.Uint64s(n))
 	next := sc.Bools(n)
 	parallel.ForEach(workers, n, func(v int) {
-		next[v] = cur[v] && fam.Eval(res.Seed, core.SlotKey(uint64(v), j, n)) < th
+		next[v] = cur[v] && applyZ[v] < th
 	})
 	model.ChargeScan("sparsify.apply")
 

@@ -11,8 +11,13 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/detrand"
+	"repro/internal/graph"
+	"repro/internal/lowdeg"
 	"repro/internal/luby"
+	"repro/internal/matching"
+	"repro/internal/mis"
 )
 
 var determinismWorkloads = []struct {
@@ -190,6 +195,67 @@ func TestEngineReuseWorkerCountIndependence(t *testing.T) {
 								t.Fatalf("Parallelism=%d round %d: node %d is %d, want %d",
 									par, round, i, is.Nodes[i], refIS.Nodes[i])
 							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestHashKernelMatchesScalarPath proves the batched hash kernel changed no
+// bits: matching and MIS run through the kernel (the production path:
+// precomputed key vectors + Evaluator.EvalKeys + z-vector selection) at
+// Parallelism ∈ {1, 2, 8}, and every run is compared edge-for-edge and
+// node-for-node against the pre-kernel closure path (per-item
+// hashfam.Family.Eval, selected by core.Params.ScalarObjectives), for both
+// the sparsify and low-degree strategies.
+func TestHashKernelMatchesScalarPath(t *testing.T) {
+	for _, w := range determinismWorkloads {
+		for _, strat := range []Strategy{StrategySparsify, StrategyLowDegree} {
+			t.Run(fmt.Sprintf("%s/n=%d/%s", w.family, w.n, strat), func(t *testing.T) {
+				g, err := Generate(w.family, w.n, w.avgDeg, w.seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scalar := core.DefaultParams()
+				scalar.Parallelism = 1
+				scalar.ScalarObjectives = true
+				var refMM []graph.Edge
+				var refIS []graph.NodeID
+				if strat == StrategySparsify {
+					refMM = matching.Deterministic(g, scalar, nil).Matching
+					refIS = mis.Deterministic(g, scalar, nil).IndependentSet
+				} else {
+					refMM = lowdeg.MaximalMatching(g, scalar, nil).Matching
+					refIS = lowdeg.MIS(g, scalar, nil).IndependentSet
+				}
+				for _, par := range parallelismLevels {
+					kernel := core.DefaultParams()
+					kernel.Parallelism = par
+					var mm []graph.Edge
+					var is []graph.NodeID
+					if strat == StrategySparsify {
+						mm = matching.Deterministic(g, kernel, nil).Matching
+						is = mis.Deterministic(g, kernel, nil).IndependentSet
+					} else {
+						mm = lowdeg.MaximalMatching(g, kernel, nil).Matching
+						is = lowdeg.MIS(g, kernel, nil).IndependentSet
+					}
+					if len(mm) != len(refMM) {
+						t.Fatalf("Parallelism=%d: kernel matching has %d edges, scalar path %d", par, len(mm), len(refMM))
+					}
+					for i := range mm {
+						if mm[i] != refMM[i] {
+							t.Fatalf("Parallelism=%d: matching edge %d is %v, scalar path %v", par, i, mm[i], refMM[i])
+						}
+					}
+					if len(is) != len(refIS) {
+						t.Fatalf("Parallelism=%d: kernel MIS has %d nodes, scalar path %d", par, len(is), len(refIS))
+					}
+					for i := range is {
+						if is[i] != refIS[i] {
+							t.Fatalf("Parallelism=%d: MIS node %d is %d, scalar path %d", par, i, is[i], refIS[i])
 						}
 					}
 				}
