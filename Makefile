@@ -12,11 +12,14 @@ BENCH_OUT ?= BENCH_results.json
 BENCH_TIME ?= 1x
 BENCH_DATE := $(shell date +%F)
 # The committed baseline the compare step diffs against: the latest
-# BENCH_<date>*.json at the repo root (names sort chronologically).
-BENCH_BASELINE ?= $(shell ls BENCH_2*.json 2>/dev/null | sort | tail -1)
+# BENCH_<date>*.json at the repo root (names sort chronologically under
+# LC_ALL=C — locale collation would order same-day letter suffixes before
+# the bare date and silently pick a stale baseline).
+BENCH_BASELINE ?= $(shell ls BENCH_2*.json 2>/dev/null | LC_ALL=C sort | tail -1)
 # Benchmarks whose ns/op regression beyond 20% draws a warning (never a
-# failure): the seed-search kernel and the warm-Engine reuse pairs.
-BENCH_WARN ?= BenchmarkT7_SeedSearch|BenchmarkEngineReuse
+# failure): the seed-search kernel, its isolated selection-scan term, and
+# the warm-Engine reuse pairs.
+BENCH_WARN ?= BenchmarkT7_SeedSearch|BenchmarkT7_SelectionScan|BenchmarkEngineReuse
 
 .PHONY: build test race race-engine bench bench-smoke bench-save bench-compare fmt fmt-check vet ci
 
@@ -34,12 +37,14 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
-# The warm-Engine determinism tables in isolation: worker-count independence
-# of a REUSED engine (dirty scratch buffers, pooled contexts) under the race
-# detector. Part of `make race` too; this target mirrors the dedicated CI
-# job so an engine-reuse regression is attributable at a glance.
+# The warm-Engine determinism tables in isolation, plus the cross-path
+# equivalence tables (epoch-stamped vs scalar objectives in lowdeg, sharded
+# vs serial EvalKeys): worker-count independence of a REUSED engine (dirty
+# scratch buffers, pooled contexts) under the race detector. Part of `make
+# race` too; this target mirrors the dedicated CI job so an engine-reuse or
+# kernel-equivalence regression is attributable at a glance.
 race-engine:
-	$(GO) test -race -timeout 30m -run 'TestEngineReuseWorkerCountIndependence|TestEngineConcurrentSolves' .
+	$(GO) test -race -timeout 30m -run 'TestEngineReuseWorkerCountIndependence|TestEngineConcurrentSolves|TestHashKernelMatchesScalarPath|TestLowDegObjectiveKernelVsScalar|TestEvalKeysShardedMatchesSerial' .
 
 # Full benchmark run (minutes); BENCH_PATTERN narrows it.
 bench:
@@ -55,7 +60,17 @@ bench-smoke:
 # Archive a dated benchmark baseline at the repo root: the full suite through
 # cmd/benchjson into BENCH_<date>.json. Commit the file so the performance
 # trajectory is diffable across PRs (bench-compare reads the latest one).
+# Refuses to clobber an existing baseline for the same date — a committed
+# baseline is a historical record; overwrite deliberately by removing the
+# file, or pass BENCH_DATE=<date>a for a second run on one day (a letter
+# suffix sorts after the bare date under LC_ALL=C, so bench-compare picks
+# the newer file; a '-2' suffix would sort before it and go stale).
 bench-save:
+	@if [ -e BENCH_$(BENCH_DATE).json ]; then \
+		echo "bench-save: BENCH_$(BENCH_DATE).json already exists; refusing to overwrite a committed baseline."; \
+		echo "bench-save: remove it first, or rerun with BENCH_DATE=$(BENCH_DATE)a (a letter suffix keeps the name sorting after the original, so bench-compare picks it up)."; \
+		exit 1; \
+	fi
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_$(BENCH_DATE).json
 
 # Diff a bench-smoke result ($(BENCH_OUT)) against the committed baseline,

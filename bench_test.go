@@ -103,10 +103,11 @@ func BenchmarkT6_CongestedClique(b *testing.B) {
 // BenchmarkT7_SeedSearch times the batched deterministic seed search in
 // isolation: evaluating 64 candidate seeds of the matching-selection
 // objective over a fixed E* (one charged O(1)-round batch), exactly as the
-// production searches do it — the slot-0 edge keys are precomputed once,
+// production searches do it — the slot-0 edge keys, packed selection keys
+// and packed-path decision are precomputed once per round (core.EdgeSel),
 // each candidate seed is one Evaluator.EvalKeys pass (Barrett reduction, no
-// per-edge closure) and one z-vector local-minimum selection on pooled
-// scratch.
+// per-edge closure) and one epoch-stamped local-minimum selection on pooled
+// scratch that touches only E*'s endpoints.
 func BenchmarkT7_SeedSearch(b *testing.B) {
 	g := gen.GNM(1<<12, 8<<12, 1)
 	p := core.DefaultParams()
@@ -116,6 +117,8 @@ func BenchmarkT7_SeedSearch(b *testing.B) {
 	evaluator := hashfam.NewEvaluator(fam)
 	n := g.N()
 	keys := core.SlotKeysInto(make([]uint64, 0, len(edges)), edges, 0, n)
+	var sel core.EdgeSel
+	core.EdgeSelInit(&sel, n, edges, make([]uint64, 0, len(edges)), fam.P()-1)
 	z := make([]uint64, len(keys))
 	var lm core.EdgeMinScratch
 	b.ReportAllocs()
@@ -124,7 +127,38 @@ func BenchmarkT7_SeedSearch(b *testing.B) {
 		e := fam.Enumerate()
 		for count := 0; e.Next() && count < 64; count++ {
 			evaluator.EvalKeys(e.Seed(), keys, z)
-			core.LocalMinEdgesZ(&lm, sp.EStar, edges, z)
+			core.LocalMinEdgesSel(&lm, &sel, z)
+		}
+	}
+}
+
+// BenchmarkT7_SelectionScan isolates the selection term of the seed search
+// — the post-hash local-minimum scan that dominated T7 before the
+// epoch-stamped tables: 64 LocalMinEdgesSel passes over a fixed E* and z
+// vector on warm scratch. bench-compare tracks it alongside
+// BenchmarkT7_SeedSearch so a regression in the scan is attributable
+// separately from the hash kernel.
+func BenchmarkT7_SelectionScan(b *testing.B) {
+	g := gen.GNM(1<<12, 8<<12, 1)
+	p := core.DefaultParams()
+	sp := sparsify.SparsifyEdges(g, p, nil)
+	edges := sp.EStar.Edges()
+	fam := core.PairwiseFamily(g.N())
+	evaluator := hashfam.NewEvaluator(fam)
+	n := g.N()
+	keys := core.SlotKeysInto(make([]uint64, 0, len(edges)), edges, 0, n)
+	var sel core.EdgeSel
+	core.EdgeSelInit(&sel, n, edges, make([]uint64, 0, len(edges)), fam.P()-1)
+	z := make([]uint64, len(keys))
+	e := fam.Enumerate()
+	e.Next()
+	evaluator.EvalKeys(e.Seed(), keys, z)
+	var lm core.EdgeMinScratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for count := 0; count < 64; count++ {
+			core.LocalMinEdgesSel(&lm, &sel, z)
 		}
 	}
 }

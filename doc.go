@@ -53,8 +53,10 @@
 // race detector (make race-engine).
 //
 // The Engine's arithmetic hot path is the batched hash kernel: every seed
-// search precomputes its round's seed-independent key vector once
-// (core.SlotKeysInto), and each candidate seed is then a single
+// search precomputes its round's seed-independent state once — the hash-key
+// vector (core.SlotKeysInto, or a core.NodeSel live list restricted to the
+// round's candidates), the packed selection keys and the packed-path
+// decision (core.EdgeSel) — and each candidate seed is then a single
 // hashfam.Evaluator.EvalKeys pass — Barrett-style reduction with a
 // precomputed reciprocal of the field prime (internal/intmath.Reducer)
 // instead of a 128-bit division per coefficient — feeding z-vector
@@ -62,7 +64,23 @@
 // values as the scalar hashfam.Family.Eval fallback, so derandomized
 // outputs are bit-identical either way (proven end to end by the
 // kernel-vs-scalar tables in parallel_determinism_test.go); see the "Hash
-// kernel" section of ROADMAP.md.
+// kernel" and "Selection scan" sections of ROADMAP.md.
+//
+// The selection side of that path is epoch-stamped: the per-node minimum
+// tables and candidate-position indexes carry a stamp array plus a
+// generation counter, a slot being meaningful only when its stamp equals
+// the current generation. Each per-seed evaluation advances the generation
+// instead of clearing the tables, so its cost is proportional to the
+// touched set — the round's edges and candidates — not to the id space.
+// Results stay bit-identical across any reuse because a new generation
+// makes every old slot unreadable at O(1) cost, and when the uint32 counter
+// wraps the stamp array is hard-reset over its full capacity with the
+// counter restarting at 1 (zero is never a live generation), so a stale
+// stamp can never collide with a recycled one. The epoch state lives in
+// Reset-surviving slots of the pooled scratch contexts, which is what keeps
+// warm re-solves allocation-flat; internal/core/selection_equiv_test.go
+// pins the whole invariant against eager-reset references, including across
+// a forced wrap.
 //
 // Everything the algorithms rely on is implemented in this module under
 // internal/: the MPC cluster simulator with Lemma 4's constant-round

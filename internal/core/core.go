@@ -324,22 +324,98 @@ func (a ZKey) Less(b ZKey) bool {
 	return a.ID < b.ID
 }
 
-// EdgeMinScratch is the reusable working state of LocalMinEdgesZ: the
-// per-node minimum tables, a z buffer for the closure wrapper, and the
-// output buffer. Seed searches evaluate the selection once per candidate
-// seed, so pooling this state (one per worker, see scratch.PerWorker)
-// removes the dominant per-seed allocations of the matching path. The zero
-// value is ready to use. Every field is fully rewritten by each call, so
-// reuse cannot change any computed value.
+// EdgeMinScratch is the reusable working state of the edge selections: the
+// epoch-stamped per-node minimum tables, the per-edge key buffer, a z buffer
+// for the closure wrapper, and the output buffer. Seed searches evaluate the
+// selection once per candidate seed, so pooling this state (one per worker,
+// see scratch.PerWorker) removes the dominant per-seed allocations of the
+// matching path. The zero value is ready to use.
+//
+// Epoch-stamp invariant: a min-table slot min1[v] (or pmin1[v]) is
+// meaningful only when stamp[v] == epoch, and epoch is advanced at the start
+// of every selection call — so a call never reads state written by a
+// previous call, and the O(n) eager clear of the tables is replaced by an
+// O(1) generation bump plus stamping only the endpoints the edge list
+// actually touches. When the uint32 generation counter wraps, the stamp
+// array is hard-reset to zero (over its full capacity, so entries parked
+// beyond the current id space cannot resurface with a recycled generation)
+// and the counter restarts at 1; zero is never a live epoch, which is what
+// keeps freshly grown (zeroed) stamp segments stale by construction. Reuse
+// therefore changes memory lifetimes only, never any computed value — the
+// property selection_equiv_test.go pins against eager-reset references,
+// including across a forced wrap.
 type EdgeMinScratch struct {
-	min1, min2 []ZKey
-	arg1       []uint64
-	keys       []ZKey
-	zbuf       []uint64
-	// packed-path tables: (z, id) fused into one uint64 (see packedEdgeBits)
-	pmin1, pmin2 []uint64
-	pkeys        []uint64
-	out          []graph.Edge
+	min1  []ZKey   // struct path: per-node minimum incident key
+	pmin1 []uint64 // packed path: same, (z, id) fused into one word
+	stamp []uint32 // shared by both paths: slot v valid iff stamp[v] == epoch
+	epoch uint32
+	keys  []ZKey
+	pkeys []uint64
+	zbuf  []uint64
+	sel   EdgeSel // wrapper-owned per-call plan of LocalMinEdgesZ
+	out   []graph.Edge
+}
+
+// NextEpoch advances a stamp table's generation counter and returns the new
+// live generation. This is THE implementation of the epoch-stamp invariant
+// (every stamped structure in the repository goes through it, so the subtle
+// parts live in exactly one place): on uint32 wrap the stamp array is
+// cleared over its FULL capacity — entries parked beyond the current id
+// space must not resurface with a recycled generation — and the counter
+// restarts at 1, so zero is never a live generation and freshly allocated
+// (zeroed) stamp segments are stale by construction.
+func NextEpoch(stamp []uint32, epoch *uint32) uint32 {
+	*epoch++
+	if *epoch == 0 {
+		clear(stamp[:cap(stamp)])
+		*epoch = 1
+	}
+	return *epoch
+}
+
+// nextEpoch grows the stamp table to cover n ids and advances the
+// generation, hard-resetting on wrap (see the type comment).
+func (s *EdgeMinScratch) nextEpoch(n int) uint32 {
+	s.stamp = graph.Grow(s.stamp, n)
+	return NextEpoch(s.stamp, &s.epoch)
+}
+
+// EdgeSel is the seed-independent half of a Section 3.3 selection round:
+// the edge list with its canonical id keys and the packed-representation
+// decision. Seed searches build it once per round (EdgeSelInit) and then
+// evaluate thousands of candidate seeds through LocalMinEdgesSel, so the
+// per-edge e.Key(n) computation and the packed-path feasibility check are
+// paid once instead of once per seed. After Init an EdgeSel is read-only
+// and safe to share across concurrent per-seed evaluations.
+type EdgeSel struct {
+	edges  []graph.Edge
+	ekeys  []uint64 // ekeys[idx] = edges[idx].Key(n)
+	n      int
+	idBits uint
+	packed bool
+}
+
+// EdgeSelInit fills sel for one round: edges is the round's canonical edge
+// list over an n-id graph, ekeys is the caller's key buffer (typically a
+// scratch checkout; it is appended into from [:0] and retained), and zMax
+// is an inclusive upper bound on every z value later passed to
+// LocalMinEdgesSel — the field size minus one for hash-kernel callers. The
+// packed single-word fast path is taken iff every (z, id) pair fits one
+// uint64 under that bound, decided here in O(1) instead of by an O(m) scan
+// per seed.
+func EdgeSelInit(sel *EdgeSel, n int, edges []graph.Edge, ekeys []uint64, zMax uint64) {
+	sel.edges = edges
+	sel.n = n
+	ekeys = ekeys[:0]
+	for _, e := range edges {
+		ekeys = append(ekeys, e.Key(n))
+	}
+	sel.ekeys = ekeys
+	sel.idBits, sel.packed = 0, false
+	if n >= 2 {
+		sel.idBits = uint(bits.Len64(uint64(n)*uint64(n) - 1))
+		sel.packed = zMax>>(64-sel.idBits) == 0
+	}
 }
 
 // packedEdgeBits reports whether every z value fits above an id field of
@@ -348,8 +424,9 @@ type EdgeMinScratch struct {
 // of this repository are ~SlotMax·n², so for laptop-scale n the packed
 // comparison replaces the two-branch ZKey.Less on the selection hot path;
 // full-width z values (e.g. the randomized baselines' raw detrand draws)
-// fall back to the struct path. The OR-reduction over z is one predictable
-// pass, amortised over the two selection passes it speeds up.
+// fall back to the struct path. Kernel callers know their field and decide
+// via EdgeSelInit's zMax in O(1); this OR-reduction is the wrapper fallback
+// for callers without a bound.
 func packedEdgeBits(n int, z []uint64) (idBits uint, ok bool) {
 	if n < 2 {
 		return 0, false
@@ -387,112 +464,109 @@ func LocalMinEdgesInto(s *EdgeMinScratch, estar *graph.Graph, edges []graph.Edge
 // LocalMinEdgesZ is the kernel form of the Section 3.3 selection: z[idx] is
 // the precomputed hash value of edges[idx] (one hashfam.Evaluator.EvalKeys
 // pass over the round's SlotKeysInto vector), so the scan is two cache-
-// friendly passes with no per-edge closure call. The returned slice aliases
-// s.out and is valid until the next call with the same scratch.
+// friendly passes with no per-edge closure call. It is LocalMinEdgesSel
+// with a per-call plan (packed decision by OR-scan, id keys recomputed) for
+// callers without per-round state — the hot seed searches build an EdgeSel
+// once per round instead. The returned slice aliases s.out and is valid
+// until the next call with the same scratch.
 func LocalMinEdgesZ(s *EdgeMinScratch, estar *graph.Graph, edges []graph.Edge, z []uint64) []graph.Edge {
 	if len(z) != len(edges) {
 		panic("core: LocalMinEdgesZ z/edges length mismatch")
 	}
 	n := estar.N()
-	if idBits, ok := packedEdgeBits(n, z); ok {
-		return localMinEdgesPacked(s, n, edges, z, idBits)
+	s.sel.edges = edges
+	s.sel.n = n
+	ekeys := graph.Grow(s.sel.ekeys, len(edges))[:0]
+	for _, e := range edges {
+		ekeys = append(ekeys, e.Key(n))
 	}
-	// Per-node minimum and second minimum incident (z,key), so the minimum
-	// excluding any given edge is available in O(1).
-	const none = ^uint64(0)
-	s.min1 = graph.Grow(s.min1, n)
-	s.min2 = graph.Grow(s.min2, n)
-	s.arg1 = graph.Grow(s.arg1, n)
-	s.keys = graph.Grow(s.keys, len(edges))
-	min1, min2, arg1, keys := s.min1, s.min2, s.arg1, s.keys
-	for v := 0; v < n; v++ {
-		min1[v] = ZKey{none, none}
-		min2[v] = ZKey{none, none}
-		arg1[v] = none
-	}
-	for idx, e := range edges {
-		k := ZKey{z[idx], e.Key(n)}
-		keys[idx] = k
-		for _, end := range [2]graph.NodeID{e.U, e.V} {
-			if k.Less(min1[end]) {
-				min2[end] = min1[end]
-				min1[end] = k
-				arg1[end] = k.ID
-			} else if k.Less(min2[end]) {
-				min2[end] = k
-			}
-		}
-	}
-	out := s.out[:0]
-	for idx, e := range edges {
-		k := keys[idx]
-		ok := true
-		for _, end := range [2]graph.NodeID{e.U, e.V} {
-			other := min1[end]
-			if arg1[end] == k.ID {
-				other = min2[end]
-			}
-			if other.ID != none && !k.Less(other) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, e)
-		}
-	}
-	s.out = out
-	return out
+	s.sel.ekeys = ekeys
+	s.sel.idBits, s.sel.packed = packedEdgeBits(n, z)
+	return LocalMinEdgesSel(s, &s.sel, z)
 }
 
-// localMinEdgesPacked is LocalMinEdgesZ with each (z, key) pair fused into
-// one uint64 (z<<idBits | key): single-word compares replace ZKey.Less, the
-// packed minimum doubles as its own argmin (keys are unique per edge, so
-// min1 == k identifies the edge), and the all-ones sentinel is unreachable
-// because a canonical edge key never has all idBits set. Selection order
-// and ties are exactly those of the struct path — packing is monotone in
-// the (z, id) lexicographic order.
-func localMinEdgesPacked(s *EdgeMinScratch, n int, edges []graph.Edge, z []uint64, idBits uint) []graph.Edge {
-	const none = ^uint64(0)
-	s.pmin1 = graph.Grow(s.pmin1, n)
-	s.pmin2 = graph.Grow(s.pmin2, n)
-	s.pkeys = graph.Grow(s.pkeys, len(edges))
-	min1, min2, keys := s.pmin1[:n], s.pmin2[:n], s.pkeys[:len(edges)]
-	for v := range min1 {
-		min1[v] = none
-		min2[v] = none
+// LocalMinEdgesSel runs one selection against a per-round EdgeSel plan:
+// z[idx] is the hash value of sel's edge idx under the candidate seed. An
+// edge is in the candidate matching iff its (z, key) is the minimum at BOTH
+// endpoints — keys are unique per edge, so "strictly smaller than every
+// adjacent edge" is exactly "argmin at each end", and a single min table
+// suffices. The per-node tables are epoch-stamped (see EdgeMinScratch), so
+// a call costs O(|edges|): only the endpoints the round's edge list touches
+// are ever (re)initialised, not the full id space. The returned slice
+// aliases s.out and is valid until the next call with the same scratch.
+func LocalMinEdgesSel(s *EdgeMinScratch, sel *EdgeSel, z []uint64) []graph.Edge {
+	edges, ekeys := sel.edges, sel.ekeys
+	if len(z) != len(edges) {
+		panic("core: LocalMinEdgesSel z/edges length mismatch")
 	}
-	for idx, e := range edges {
-		k := z[idx]<<idBits | e.Key(n)
-		keys[idx] = k
-		if k < min1[e.U] {
-			min2[e.U] = min1[e.U]
-			min1[e.U] = k
-		} else if k < min2[e.U] {
-			min2[e.U] = k
+	ep := s.nextEpoch(sel.n)
+	stamp := s.stamp
+	if sel.packed {
+		idBits := sel.idBits
+		s.pmin1 = graph.Grow(s.pmin1, sel.n)
+		s.pkeys = graph.Grow(s.pkeys, len(edges))
+		min1, keys := s.pmin1, s.pkeys[:len(edges)]
+		// Insertion pass: only the endpoints the edge list touches are ever
+		// stamped and (re)initialised — the id-space-wide clear is gone.
+		// The merge is branchless: whether an endpoint's slot is stale and
+		// whether the new key undercuts it both depend on the (effectively
+		// random) hash values, so branches here mispredict heavily. Instead,
+		// a stale slot's value is forced to all-ones by OR-ing a mask
+		// derived from stamp[v] ^ ep (nonzero iff stale), the min is a
+		// compare the compiler lowers to a conditional move, and the stamp
+		// and table stores are unconditional.
+		for idx, e := range edges {
+			k := z[idx]<<idBits | ekeys[idx]
+			keys[idx] = k
+			u, v := e.U, e.V
+			su := uint64(stamp[u] ^ ep)
+			mu := min1[u] | -((su | -su) >> 63)
+			if k < mu {
+				mu = k
+			}
+			stamp[u] = ep
+			min1[u] = mu
+			sv := uint64(stamp[v] ^ ep)
+			mv := min1[v] | -((sv | -sv) >> 63)
+			if k < mv {
+				mv = k
+			}
+			stamp[v] = ep
+			min1[v] = mv
 		}
-		if k < min1[e.V] {
-			min2[e.V] = min1[e.V]
+		// Output pass: an edge is selected iff its key is the minimum at
+		// both endpoints.
+		out := s.out[:0]
+		for idx, e := range edges {
+			if k := keys[idx]; min1[e.U] == k && min1[e.V] == k {
+				out = append(out, e)
+			}
+		}
+		s.out = out
+		return out
+	}
+	s.min1 = graph.Grow(s.min1, sel.n)
+	s.keys = graph.Grow(s.keys, len(edges))
+	min1, keys := s.min1, s.keys[:len(edges)]
+	for idx, e := range edges {
+		k := ZKey{z[idx], ekeys[idx]}
+		keys[idx] = k
+		if stamp[e.U] != ep {
+			stamp[e.U] = ep
+			min1[e.U] = k
+		} else if k.Less(min1[e.U]) {
+			min1[e.U] = k
+		}
+		if stamp[e.V] != ep {
+			stamp[e.V] = ep
 			min1[e.V] = k
-		} else if k < min2[e.V] {
-			min2[e.V] = k
+		} else if k.Less(min1[e.V]) {
+			min1[e.V] = k
 		}
 	}
 	out := s.out[:0]
 	for idx, e := range edges {
-		k := keys[idx]
-		otherU := min1[e.U]
-		if otherU == k {
-			otherU = min2[e.U]
-		}
-		if k >= otherU {
-			continue
-		}
-		otherV := min1[e.V]
-		if otherV == k {
-			otherV = min2[e.V]
-		}
-		if k < otherV {
+		if k := keys[idx]; min1[e.U] == k && min1[e.V] == k {
 			out = append(out, e)
 		}
 	}
@@ -594,6 +668,116 @@ func LocalMinNodesZ(dst []graph.NodeID, q *graph.Graph, inQ []bool, z []uint64) 
 		}
 		if isMin {
 			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// NodeSel is the seed-independent half of a Section 4.3 selection round:
+// the live candidate list (the nodes the round's inQ mask admits, in
+// ascending id order), their hash-key vector, and an epoch-stamped position
+// index mapping a node id to its slot in the per-seed z vector. Seed
+// searches build it once per round (Init) and evaluate every candidate seed
+// with one hashfam EvalKeys pass over Keys() — length |live|, not the full
+// id space — followed by LocalMinNodesSel. The epoch-stamp invariant is the
+// one documented on EdgeMinScratch: pos[v] is meaningful iff
+// stamp[v] == epoch, Init advances the generation, and a uint32 wrap
+// hard-resets the stamp array over its full capacity with the counter
+// restarting at 1, so reuse across rounds (and across solves, when checked
+// out of a pooled scratch.Context) can never leak a stale position. After
+// Init a NodeSel is read-only and safe to share across concurrent per-seed
+// evaluations. The zero value is ready to use.
+type NodeSel struct {
+	live   []graph.NodeID
+	keys   []uint64
+	pos    []int32
+	stamp  []uint32
+	epoch  uint32
+	n      int
+	idBits uint
+	packed bool
+}
+
+// Init fills sel for one round: inQ masks the candidates over an n-id
+// graph, keyOf supplies each candidate's (seed-independent) hash key, and
+// zMax is an inclusive upper bound on every z value later passed to
+// LocalMinNodesSel. Cost is one O(n) mask scan plus O(|live|) stamping —
+// paid once per round, where the eager alternative pays the id-space scan
+// once per candidate seed.
+func (sel *NodeSel) Init(n int, inQ []bool, keyOf func(graph.NodeID) uint64, zMax uint64) {
+	sel.n = n
+	sel.pos = graph.Grow(sel.pos, n)
+	sel.stamp = graph.Grow(sel.stamp, n)
+	ep := NextEpoch(sel.stamp, &sel.epoch)
+	live := graph.Grow(sel.live, n)[:0]
+	keys := graph.Grow(sel.keys, n)[:0]
+	for v := 0; v < n; v++ {
+		if !inQ[v] {
+			continue
+		}
+		sel.pos[v] = int32(len(live))
+		sel.stamp[v] = ep
+		live = append(live, graph.NodeID(v))
+		keys = append(keys, keyOf(graph.NodeID(v)))
+	}
+	sel.live = live
+	sel.keys = keys
+	sel.idBits, sel.packed = 0, false
+	if n >= 2 {
+		sel.idBits = uint(bits.Len64(uint64(n) - 1))
+		sel.packed = zMax>>(64-sel.idBits) == 0
+	}
+}
+
+// Live returns the candidate ids in ascending order, valid until the next
+// Init.
+func (sel *NodeSel) Live() []graph.NodeID { return sel.live }
+
+// Keys returns the candidates' hash-key vector, parallel to Live(): the
+// once-per-round input of the per-seed EvalKeys passes.
+func (sel *NodeSel) Keys() []uint64 { return sel.keys }
+
+// LocalMinNodesSel is the per-round-plan form of the Section 4.3 selection:
+// z[i] is the hash value of sel.Live()[i] under the candidate seed (one
+// EvalKeys pass over sel.Keys()). A candidate joins I_h iff its (z, id) is
+// strictly smaller than every live q-neighbour's; the live set and the
+// iteration order are exactly those of LocalMinNodesZ with inQ = the mask
+// Init saw, so results are bit-identical while the scan touches only
+// candidates and their incidences, never the full id space.
+func LocalMinNodesSel(dst []graph.NodeID, q *graph.Graph, sel *NodeSel, z []uint64) []graph.NodeID {
+	if len(z) < len(sel.live) {
+		panic("core: LocalMinNodesSel z vector shorter than live set")
+	}
+	ep, stamp, pos := sel.epoch, sel.stamp, sel.pos
+	out := dst[:0]
+	if sel.packed {
+		idBits := sel.idBits
+		for i, v := range sel.live {
+			kv := z[i]<<idBits | uint64(v)
+			isMin := true
+			for _, u := range q.Neighbors(v) {
+				if stamp[u] == ep && kv >= z[pos[u]]<<idBits|uint64(u) {
+					isMin = false
+					break
+				}
+			}
+			if isMin {
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+	for i, v := range sel.live {
+		kv := ZKey{z[i], uint64(v)}
+		isMin := true
+		for _, u := range q.Neighbors(v) {
+			if stamp[u] == ep && !kv.Less(ZKey{z[pos[u]], uint64(u)}) {
+				isMin = false
+				break
+			}
+		}
+		if isMin {
+			out = append(out, v)
 		}
 	}
 	return out

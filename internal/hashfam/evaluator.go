@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/intmath"
+	"repro/internal/parallel"
 )
 
 // Evaluator is the key-major batched evaluation kernel of the seed searches:
@@ -52,12 +53,19 @@ func (e *Evaluator) EvalKeys(seed, keys, out []uint64) []uint64 {
 		panic("hashfam: EvalKeys output shorter than key vector")
 	}
 	out = out[:len(keys)]
-	red := e.red
 	// Reduce the coefficients once per seed, not once per key. The stack
 	// array covers every k used in this repository (pairwise selection,
 	// KWise = 4 subsampling); larger families fall back to one allocation
 	// per batch, amortised over the whole key vector.
 	var cbuf [8]uint64
+	e.evalReduced(e.reduceSeed(seed, &cbuf), keys, out)
+	return out
+}
+
+// reduceSeed reduces the seed's coefficients mod p into cbuf (or a fresh
+// slice for families wider than the stack array).
+func (e *Evaluator) reduceSeed(seed []uint64, cbuf *[8]uint64) []uint64 {
+	k := e.fam.k
 	var c []uint64
 	if k <= len(cbuf) {
 		c = cbuf[:k]
@@ -65,9 +73,17 @@ func (e *Evaluator) EvalKeys(seed, keys, out []uint64) []uint64 {
 		c = make([]uint64, k)
 	}
 	for i, s := range seed {
-		c[i] = red.Mod(s)
+		c[i] = e.red.Mod(s)
 	}
-	switch k {
+	return c
+}
+
+// evalReduced evaluates the family polynomial with pre-reduced coefficients
+// over a key range. It is the shard body of EvalKeysW — out[i] depends only
+// on keys[i] and c, so disjoint subranges can be evaluated concurrently.
+func (e *Evaluator) evalReduced(c, keys, out []uint64) {
+	red := e.red
+	switch len(c) {
 	case 1:
 		for i := range keys {
 			out[i] = c[0]
@@ -78,6 +94,42 @@ func (e *Evaluator) EvalKeys(seed, keys, out []uint64) []uint64 {
 	default:
 		red.EvalPoly(c, keys, out)
 	}
+}
+
+// evalKeysShardGrain is the minimum number of keys a shard must carry for
+// the EvalKeysW fan-out to pay for its goroutine handoffs. Shard boundaries
+// derive from len(keys) and this constant alone — never from the worker
+// count — per the repository's determinism contract (moot for EvalKeysW,
+// whose slots are written independently, but kept structural anyway).
+const evalKeysShardGrain = 4096
+
+// EvalKeysW is EvalKeys with the key vector sharded over up to `workers`
+// goroutines of the shared internal/parallel pool (0 = GOMAXPROCS, 1 =
+// serial). It exists for rounds whose key vectors are long while the seed
+// batch is too short to saturate the pool by itself: the apply filters and
+// final selections that evaluate ONE seed over the whole round, and batch
+// tails narrower than the worker count (see condexp.SpareWorkers). Output
+// is byte-identical to EvalKeys at any worker count: the seed's
+// coefficients are reduced once and shared read-only, and each shard writes
+// only its own out range.
+func (e *Evaluator) EvalKeysW(seed, keys, out []uint64, workers int) []uint64 {
+	if parallel.Workers(workers) <= 1 || len(keys) < 2*evalKeysShardGrain {
+		return e.EvalKeys(seed, keys, out)
+	}
+	if len(seed) != e.fam.k {
+		panic(fmt.Sprintf("hashfam: seed length %d, want %d", len(seed), e.fam.k))
+	}
+	if len(out) < len(keys) {
+		panic("hashfam: EvalKeys output shorter than key vector")
+	}
+	out = out[:len(keys)]
+	var cbuf [8]uint64
+	c := e.reduceSeed(seed, &cbuf)
+	shards := parallel.Shards(len(keys), len(keys)/evalKeysShardGrain)
+	parallel.RunShards(workers, len(shards), func(s int) {
+		lo, hi := shards[s].Lo, shards[s].Hi
+		e.evalReduced(c, keys[lo:hi], out[lo:hi])
+	})
 	return out
 }
 

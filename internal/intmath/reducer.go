@@ -137,19 +137,20 @@ func (r Reducer) AddMod(a, b uint64) uint64 {
 func (r Reducer) EvalPoly2(c0, c1 uint64, keys, out []uint64) {
 	m, rec := r.m, r.rec
 	if r.small {
+		// Both corrections are branchless: whether the Barrett remainder
+		// needs its final subtraction and whether the coefficient add wraps
+		// both depend on the (effectively random) hash value, so a
+		// conditional branch here mispredicts about half the time per key.
+		// t = v - m is "negative" iff v < m, and m < 2^63 on this path, so
+		// the sign bit of t drives a mask that adds m back exactly when the
+		// subtraction overshot — the same value the branchy form computes.
 		for i, x := range keys {
 			p := c1 * x
 			q, _ := bits.Mul64(p, rec)
-			v := p - q*m
-			if v >= m {
-				v -= m
-			}
-			if c0 != 0 && v >= m-c0 {
-				v -= m - c0
-			} else {
-				v += c0
-			}
-			out[i] = v
+			t := p - q*m - m
+			v := t + (m & uint64(int64(t)>>63))
+			t = v + c0 - m
+			out[i] = t + (m & uint64(int64(t)>>63))
 		}
 		return
 	}
@@ -192,20 +193,16 @@ func (r Reducer) EvalPoly(c []uint64, keys, out []uint64) {
 	k := len(c)
 	m, rec := r.m, r.rec
 	if r.small {
+		// Branchless corrections, as in EvalPoly2.
 		for i, x := range keys {
 			acc := c[k-1]
 			for j := k - 2; j >= 0; j-- {
 				p := acc * x
 				q, _ := bits.Mul64(p, rec)
-				acc = p - q*m
-				if acc >= m {
-					acc -= m
-				}
-				if cj := c[j]; cj != 0 && acc >= m-cj {
-					acc -= m - cj
-				} else {
-					acc += cj
-				}
+				t := p - q*m - m
+				acc = t + (m & uint64(int64(t)>>63))
+				t = acc + c[j] - m
+				acc = t + (m & uint64(int64(t)>>63))
 			}
 			out[i] = acc
 		}

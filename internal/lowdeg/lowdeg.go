@@ -118,17 +118,63 @@ func MIS(g *graph.Graph, p core.Params, model *simcost.Model) *Result {
 }
 
 // lowdegEval is the per-worker pooled state of one candidate-seed objective
-// evaluation: the I_h buffer, the removed-node mask of removedEdgesMasked
-// (touched entries are reset after each use), the per-seed z vector of the
-// kernel path, and (for the scalar reference path) a permanent z-closure
-// reading the current seed through the seed field. Either way an
-// evaluation allocates nothing.
+// evaluation: the I_h buffer, the generation-stamped membership mark and
+// R-list of the incident-count objective, the per-seed z vector of the
+// kernel path, and (for the scalar reference path) the removed-node mask of
+// the retained full-scan objective plus a permanent z-closure reading the
+// current seed through the seed field. Either way an evaluation allocates
+// nothing, and only the selected path's mask is allocated. The mark/gen
+// pair follows the repository's epoch-stamp invariant (core.NextEpoch):
+// mark[v] == gen means v ∈ I_h ∪ N(I_h) for the CURRENT evaluation only,
+// gen advances per evaluation, and a uint32 wrap hard-resets the mark
+// array, so pooled reuse across seeds and workers can never leak a stale
+// membership bit.
 type lowdegEval struct {
 	ih     []graph.NodeID
-	remove []bool
-	z      []uint64 // kernel path: EvalKeys output over the colour key vector
+	mark   []uint32
+	gen    uint32
+	r      []graph.NodeID // the touched set I_h ∪ N(I_h), rebuilt per eval
+	remove []bool         // scalar reference path: removedEdgesMasked's mask
+	z      []uint64       // kernel path: EvalKeys output over the live colour keys
 	seed   []uint64
 	zf     func(graph.NodeID) uint64
+}
+
+// incidentEdges counts the edges of cur incident to R = ih ∪ N(ih) — the
+// edges one Luby phase removes when I_h = ih is selected — touching only R
+// and its incidences: Σ_{w∈R} d(w) counts every incident edge once plus
+// every R-internal edge twice, so the count is the degree sum minus the
+// internal-edge correction. It is exactly removedEdgesMasked's value
+// without the O(n+m) full-graph scan; the equivalence tables in
+// parallel_determinism_test.go compare the two bit-for-bit through the
+// retained ScalarObjectives path.
+func incidentEdges(cur *graph.Graph, ih []graph.NodeID, ev *lowdegEval) int {
+	gen := core.NextEpoch(ev.mark, &ev.gen)
+	mark := ev.mark
+	r := ev.r[:0]
+	for _, v := range ih {
+		mark[v] = gen
+		r = append(r, v)
+	}
+	for _, v := range ih {
+		for _, u := range cur.Neighbors(v) {
+			if mark[u] != gen {
+				mark[u] = gen
+				r = append(r, u)
+			}
+		}
+	}
+	degSum, internal := 0, 0
+	for _, w := range r {
+		for _, u := range cur.Neighbors(w) {
+			degSum++
+			if mark[u] == gen && u > w {
+				internal++
+			}
+		}
+	}
+	ev.r = r
+	return degSum - internal
 }
 
 // MISIn is MIS drawing every per-phase buffer from sc: the removal mask and
@@ -176,15 +222,22 @@ func MISIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Mo
 	}
 	inMIS := make([]bool, n)
 	evaluator := hashfam.NewEvaluator(fam)
-	// The per-node hash keys are the (solve-invariant) G² colours, so the
-	// kernel path computes the key vector once; each candidate seed is one
-	// EvalKeys pass over it.
-	colorKeys := make([]uint64, n)
-	for v, c := range col.Colors {
-		colorKeys[v] = uint64(c)
-	}
+	// The per-node hash keys are the (solve-invariant) G² colours; the
+	// kernel path builds a per-phase NodeSel over the surviving nodes, so a
+	// candidate seed costs one EvalKeys pass of length |alive| — which
+	// shrinks with the graph — followed by a live-list selection scan.
+	colorKeyOf := func(v graph.NodeID) uint64 { return uint64(col.Colors[v]) }
+	sel := sc.NodeSel()
 	evalPool := scratch.NewPerWorker(func() *lowdegEval {
-		ev := &lowdegEval{remove: make([]bool, n)}
+		// Only the selected objective path's mask is ever touched, so only
+		// it is allocated — the other would be per-worker dead weight
+		// against the tightened warm-reuse budgets.
+		ev := &lowdegEval{}
+		if p.ScalarObjectives {
+			ev.remove = make([]bool, n)
+		} else {
+			ev.mark = make([]uint32, n)
+		}
 		ev.zf = func(v graph.NodeID) uint64 {
 			return fam.Eval(ev.seed, uint64(col.Colors[v]))
 		}
@@ -192,13 +245,13 @@ func MISIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Mo
 	})
 	// localMin computes I_h for one seed into dst, through the kernel or
 	// the scalar closure reference.
-	localMin := func(ev *lowdegEval, dst []graph.NodeID, q *graph.Graph, seed []uint64) []graph.NodeID {
+	localMin := func(ev *lowdegEval, dst []graph.NodeID, q *graph.Graph, seed []uint64, workers int) []graph.NodeID {
 		if p.ScalarObjectives {
 			ev.seed = seed
 			return core.LocalMinNodesInto(dst, q, alive, ev.zf)
 		}
-		ev.z = graph.Grow(ev.z, n)
-		return core.LocalMinNodesZ(dst, q, alive, evaluator.EvalKeys(seed, colorKeys, ev.z))
+		ev.z = graph.Grow(ev.z, len(sel.Keys()))
+		return core.LocalMinNodesSel(dst, q, sel, evaluator.EvalKeysW(seed, sel.Keys(), ev.z, workers))
 	}
 
 	joinIsolated := func() {
@@ -221,11 +274,20 @@ func MISIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Mo
 			st := PhaseStats{Stage: stage, Phase: phase, EdgesBefore: cur.M()}
 
 			curG := cur
+			// Per-phase selection plan over the surviving nodes, shared
+			// read-only by the concurrent per-seed evaluations below.
+			sel.Init(n, alive, colorKeyOf, fam.P()-1)
 			objective := func(seeds [][]uint64, values []int64) {
+				spare := condexp.SpareWorkers(p.Workers(), len(seeds))
 				parallel.ForEach(p.Workers(), len(seeds), func(i int) {
 					ev := evalPool.Get()
-					ev.ih = localMin(ev, ev.ih, curG, seeds[i])
-					values[i] = int64(removedEdgesMasked(curG, ev.ih, ev.remove))
+					ev.ih = localMin(ev, ev.ih, curG, seeds[i], spare)
+					if p.ScalarObjectives {
+						// The retained full-scan reference: walks all of cur.
+						values[i] = int64(removedEdgesMasked(curG, ev.ih, ev.remove))
+					} else {
+						values[i] = int64(incidentEdges(curG, ev.ih, ev))
+					}
 					evalPool.Put(ev)
 				})
 			}
@@ -248,7 +310,7 @@ func MISIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Mo
 			st.SeedFound = search.Found
 
 			fin := evalPool.Get()
-			ih := localMin(fin, sc.NodeIDsCap(n), cur, search.Seed)
+			ih := localMin(fin, sc.NodeIDsCap(n), cur, search.Seed, p.Workers())
 			evalPool.Put(fin)
 			st.Selected = len(ih)
 			remove := sc.Bools(n)

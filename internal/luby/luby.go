@@ -143,7 +143,10 @@ func MaximalMatchingIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source,
 	res := &MatchingResult{}
 	cur := g
 	n := g.N()
-	var lm core.EdgeMinScratch
+	// The epoch-stamped selection scratch survives sc.Reset (its stamp
+	// array and generation counter must stay paired), so it is drawn from
+	// the Context's persistent slot rather than checked out per round.
+	lm := sc.EdgeMin()
 	for round := 1; cur.M() > 0; round++ {
 		st := RoundStats{Round: round, EdgesBefore: cur.M()}
 		edges := cur.EdgesAppend(sc.EdgesCap(cur.M()))
@@ -151,7 +154,7 @@ func MaximalMatchingIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source,
 		for i := range edges {
 			z[i] = src.Uint64()
 		}
-		picked := core.LocalMinEdgesZ(&lm, cur, edges, z)
+		picked := core.LocalMinEdgesZ(lm, cur, edges, z)
 		matched := sc.Bools(n)
 		for _, e := range picked {
 			matched[e.U] = true

@@ -129,12 +129,16 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 		model.AssertMachineWords(st.MaxBallWords, "mm.2hop")
 		model.ChargeRounds(2, "mm.collect") // sort + request round (§2.2)
 
-		// Derandomized Luby step on E* (Section 3.3). The slot-0 edge keys
-		// are seed-independent, so they are computed once per round; every
-		// candidate seed then costs one EvalKeys pass plus the selection
-		// scan.
+		// Derandomized Luby step on E* (Section 3.3). The slot-0 hash keys,
+		// the packed selection keys, and the packed-path decision are all
+		// seed-independent, so they are computed once per round (EdgeSel);
+		// every candidate seed then costs one EvalKeys pass plus a selection
+		// scan that touches only E*'s endpoints — the epoch-stamped tables
+		// never pay the id-space clear.
 		deg := sp.Deg
 		keys := core.SlotKeysInto(sc.Uint64sCap(len(estarEdges)), estarEdges, 0, n)
+		var sel core.EdgeSel
+		core.EdgeSelInit(&sel, n, estarEdges, sc.Uint64sCap(len(estarEdges)), fam.P()-1)
 		value := func(eh []graph.Edge) int64 {
 			var v int64
 			for _, e := range eh {
@@ -147,18 +151,19 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 			}
 			return v
 		}
-		evalSeed := func(seed []uint64) (*mmEval, []graph.Edge) {
+		evalSeed := func(seed []uint64, workers int) (*mmEval, []graph.Edge) {
 			ev := lmPool.Get()
 			if p.ScalarObjectives {
 				ev.seed = seed
 				return ev, core.LocalMinEdgesInto(&ev.lm, estar, estarEdges, ev.zf)
 			}
 			ev.z = graph.Grow(ev.z, len(keys))
-			return ev, core.LocalMinEdgesZ(&ev.lm, estar, estarEdges, evaluator.EvalKeys(seed, keys, ev.z))
+			return ev, core.LocalMinEdgesSel(&ev.lm, &sel, evaluator.EvalKeysW(seed, keys, ev.z, workers))
 		}
 		objective := func(seeds [][]uint64, values []int64) {
+			spare := condexp.SpareWorkers(p.Workers(), len(seeds))
 			parallel.ForEach(p.Workers(), len(seeds), func(i int) {
-				ev, eh := evalSeed(seeds[i])
+				ev, eh := evalSeed(seeds[i], spare)
 				values[i] = value(eh)
 				lmPool.Put(ev)
 			})
@@ -182,7 +187,7 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 		st.SeedFound = search.Found
 		st.ObjectiveValue = search.Value
 
-		ev, eh := evalSeed(search.Seed)
+		ev, eh := evalSeed(search.Seed, p.Workers())
 		if len(eh) == 0 {
 			// Unconditional-progress fallback: match the smallest-key edge.
 			eh = []graph.Edge{smallestEdge(cur)}

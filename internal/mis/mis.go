@@ -103,10 +103,13 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 	inMIS := make([]bool, n)
 	fam := core.PairwiseFamily(n)
 	evaluator := hashfam.NewEvaluator(fam)
-	// The slot-0 node keys are round-invariant (the id space never
-	// shrinks), so the kernel path computes the key vector once per solve;
-	// each candidate seed costs one EvalKeys pass over it.
-	nodeKeys := core.NodeSlotKeysInto(make([]uint64, 0, n), 0, n)
+	// The slot-0 node keys are seed-independent, so the kernel path builds a
+	// per-round NodeSel over the round's Q' candidates: each candidate seed
+	// then costs one EvalKeys pass of length |Q'| — the touched set — rather
+	// than the full id space, and the selection iterates the live list
+	// through the epoch-stamped position index.
+	sel := sc.NodeSel()
+	slotKeyOf := func(v graph.NodeID) uint64 { return core.SlotKey(uint64(v), 0, n) }
 	gamma := core.NewDegreeClasses(n, p.InvDelta).GroupSize()
 	evalPool := scratch.NewPerWorker(func() *misEval {
 		ev := &misEval{inIh: make([]bool, n)}
@@ -117,13 +120,13 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 	})
 	// localMin computes I_h for one seed into dst, through the kernel (z
 	// vector shared via ev.z) or the scalar closure reference.
-	localMin := func(ev *misEval, dst []graph.NodeID, q *graph.Graph, inQ []bool, seed []uint64) []graph.NodeID {
+	localMin := func(ev *misEval, dst []graph.NodeID, q *graph.Graph, inQ []bool, seed []uint64, workers int) []graph.NodeID {
 		if p.ScalarObjectives {
 			ev.seed = seed
 			return core.LocalMinNodesInto(dst, q, inQ, ev.zf)
 		}
-		ev.z = graph.Grow(ev.z, n)
-		return core.LocalMinNodesZ(dst, q, inQ, evaluator.EvalKeys(seed, nodeKeys, ev.z))
+		ev.z = graph.Grow(ev.z, len(sel.Keys()))
+		return core.LocalMinNodesSel(dst, q, sel, evaluator.EvalKeysW(seed, sel.Keys(), ev.z, workers))
 	}
 
 	joinIsolated := func(st *IterStats) {
@@ -197,10 +200,14 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 		model.ChargeRounds(2, "mis.collect")
 
 		deg := sp.Deg
+		// The selection plan for this round's candidate set, built once and
+		// then shared read-only by every concurrent per-seed evaluation.
+		sel.Init(n, sp.Q, slotKeyOf, fam.P()-1)
 		objective := func(seeds [][]uint64, values []int64) {
+			spare := condexp.SpareWorkers(p.Workers(), len(seeds))
 			parallel.ForEach(p.Workers(), len(seeds), func(i int) {
 				ev := evalPool.Get()
-				ih := localMin(ev, ev.ih, q, sp.Q, seeds[i])
+				ih := localMin(ev, ev.ih, q, sp.Q, seeds[i], spare)
 				ev.ih = ih
 				for _, v := range ih {
 					ev.inIh[v] = true
@@ -242,7 +249,7 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 		st.ObjectiveValue = search.Value
 
 		fin := evalPool.Get()
-		ih := localMin(fin, sc.NodeIDsCap(n), q, sp.Q, search.Seed)
+		ih := localMin(fin, sc.NodeIDsCap(n), q, sp.Q, search.Seed, p.Workers())
 		evalPool.Put(fin)
 		st.Selected = len(ih)
 		remove := sc.Bools(n)

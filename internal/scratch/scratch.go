@@ -28,6 +28,7 @@ package scratch
 import (
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 )
 
@@ -104,6 +105,9 @@ type Context struct {
 
 	loop  BufPair
 	stage BufPair
+
+	edgeMin core.EdgeMinScratch
+	nodeSel core.NodeSel
 }
 
 // New returns an empty Context.
@@ -162,6 +166,22 @@ func (c *Context) Loop() *BufPair { return &c.loop }
 // (E_0 → E_1 → … → E*), kept separate from Loop because the stage result
 // must stay readable while the outer-loop graph is rebuilt.
 func (c *Context) Stage() *BufPair { return &c.stage }
+
+// EdgeMin returns the Context's persistent edge-selection scratch. Like the
+// CSR double-buffers it survives Reset: the epoch-stamped min tables inside
+// it pair a stamp array with a generation counter, and that pairing must
+// live as long as the buffers do (a recycled stamp array under a fresh
+// counter could alias a live generation). Keeping the pair here means warm
+// Engine re-solves reuse it allocation-free, and its self-invalidating
+// epochs make any prior contents unobservable — the selection results are
+// identical for any history of the Context.
+func (c *Context) EdgeMin() *core.EdgeMinScratch { return &c.edgeMin }
+
+// NodeSel returns the Context's persistent node-selection plan, with the
+// same Reset-surviving lifetime and epoch-stamp rationale as EdgeMin. Round
+// loops re-Init it every round (advancing its generation) and share it
+// read-only across concurrent per-seed evaluations.
+func (c *Context) NodeSel() *core.NodeSel { return &c.nodeSel }
 
 // BufPair is a pair of graph.CSR destination buffers used in alternation:
 // each Next call returns the buffer NOT written by the previous call, so a

@@ -244,7 +244,7 @@ func runEdgeStage(sc *scratch.Context, g, curG *graph.Graph, cur []graph.Edge, b
 		}
 		return good
 	}
-	goodGroups := func(seed []uint64) int64 {
+	goodGroups := func(seed []uint64, workers int) int64 {
 		zp := zPool.Get()
 		z := (*zp)[:len(keys)]
 		if p.ScalarObjectives {
@@ -252,15 +252,16 @@ func runEdgeStage(sc *scratch.Context, g, curG *graph.Graph, cur []graph.Edge, b
 				z[t] = fam.Eval(seed, k)
 			}
 		} else {
-			evaluator.EvalKeys(seed, keys, z)
+			evaluator.EvalKeysW(seed, keys, z, workers)
 		}
 		good := countGood(z)
 		zPool.Put(zp)
 		return good
 	}
 	objective := func(seeds [][]uint64, values []int64) {
+		spare := condexp.SpareWorkers(p.Workers(), len(seeds))
 		parallel.ForEach(p.Workers(), len(seeds), func(i int) {
-			values[i] = goodGroups(seeds[i])
+			values[i] = goodGroups(seeds[i], spare)
 		})
 	}
 
@@ -276,12 +277,13 @@ func runEdgeStage(sc *scratch.Context, g, curG *graph.Graph, cur []graph.Edge, b
 		panic(err)
 	}
 
-	// Apply the selected seed: E_j = {e ∈ E_{j-1} : h(e) < th}, one
-	// EvalKeys pass over this stage's per-edge keys. Shards filter
+	// Apply the selected seed: E_j = {e ∈ E_{j-1} : h(e) < th}, one sharded
+	// EvalKeys pass over this stage's per-edge keys (a single seed over the
+	// whole round — exactly the shape EvalKeysW exists for). Shards filter
 	// independent edge ranges; concatenation in shard order keeps the
 	// canonical edge order of the serial scan.
 	curKeys := core.SlotKeysInto(sc.Uint64sCap(len(cur)), cur, j, n)
-	curZ := evaluator.EvalKeys(res.Seed, curKeys, sc.Uint64s(len(cur)))
+	curZ := evaluator.EvalKeysW(res.Seed, curKeys, sc.Uint64s(len(cur)), p.Workers())
 	next := parallel.Collect(p.Workers(), len(cur), func(lo, hi int) []graph.Edge {
 		var part []graph.Edge
 		for idx := lo; idx < hi; idx++ {
@@ -298,7 +300,7 @@ func runEdgeStage(sc *scratch.Context, g, curG *graph.Graph, cur []graph.Edge, b
 	out.ItemsBefore = len(cur)
 	out.ItemsAfter = len(next)
 	out.Groups = len(groups)
-	out.GoodGroups = int(goodGroups(res.Seed))
+	out.GoodGroups = int(goodGroups(res.Seed, p.Workers()))
 	out.SeedsTried = res.SeedsTried
 	out.SeedFound = res.Found
 

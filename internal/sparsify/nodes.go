@@ -234,7 +234,7 @@ func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
 		}
 		return good
 	}
-	goodGroups := func(seed []uint64) int64 {
+	goodGroups := func(seed []uint64, workers int) int64 {
 		zp := zPool.Get()
 		z := (*zp)[:len(keys)]
 		if p.ScalarObjectives {
@@ -242,15 +242,16 @@ func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
 				z[t] = fam.Eval(seed, k)
 			}
 		} else {
-			evaluator.EvalKeys(seed, keys, z)
+			evaluator.EvalKeysW(seed, keys, z, workers)
 		}
 		good := countGood(z)
 		zPool.Put(zp)
 		return good
 	}
 	objective := func(seeds [][]uint64, values []int64) {
+		spare := condexp.SpareWorkers(p.Workers(), len(seeds))
 		parallel.ForEach(p.Workers(), len(seeds), func(i int) {
-			values[i] = goodGroups(seeds[i])
+			values[i] = goodGroups(seeds[i], spare)
 		})
 	}
 
@@ -269,7 +270,7 @@ func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
 	// keys, then a sharded mask update.
 	workers := p.Workers()
 	applyKeys := core.NodeSlotKeysInto(sc.Uint64sCap(n), j, n)
-	applyZ := evaluator.EvalKeys(res.Seed, applyKeys, sc.Uint64s(n))
+	applyZ := evaluator.EvalKeysW(res.Seed, applyKeys, sc.Uint64s(n), workers)
 	next := sc.Bools(n)
 	parallel.ForEach(workers, n, func(v int) {
 		next[v] = cur[v] && applyZ[v] < th
@@ -281,7 +282,7 @@ func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
 		ItemsBefore: CountMask(cur),
 		ItemsAfter:  CountMask(next),
 		Groups:      len(groups),
-		GoodGroups:  int(goodGroups(res.Seed)),
+		GoodGroups:  int(goodGroups(res.Seed, workers)),
 		SeedsTried:  res.SeedsTried,
 		SeedFound:   res.Found,
 	}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detrand"
 	"repro/internal/graph"
+	"repro/internal/hashfam"
 	"repro/internal/lowdeg"
 	"repro/internal/luby"
 	"repro/internal/matching"
@@ -260,6 +261,114 @@ func TestHashKernelMatchesScalarPath(t *testing.T) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// TestLowDegObjectiveKernelVsScalar pins the incident-count reformulation
+// of the Section 5 seed-search objective: the kernel path scores a
+// candidate seed as Σ_{w∈R} d(w) minus the R-internal edge correction over
+// R = I_h ∪ N(I_h) (touching only R), while the retained
+// core.Params.ScalarObjectives path still walks all of cur
+// (removedEdgesMasked). Both MIS and matching-via-line-graph run through
+// internal/lowdeg directly at Parallelism ∈ {1, 2, 8} and must reproduce
+// the full-scan reference bit for bit — same seeds tried, same phase
+// boundaries, same output sets.
+func TestLowDegObjectiveKernelVsScalar(t *testing.T) {
+	for _, w := range []struct {
+		family string
+		n      int
+		avgDeg int
+		seed   uint64
+	}{
+		{"regular", 384, 8, 5},
+		{"regular", 256, 12, 3},
+		{"grid", 400, 4, 2},
+		{"powerlaw", 320, 5, 7},
+	} {
+		t.Run(fmt.Sprintf("%s/n=%d", w.family, w.n), func(t *testing.T) {
+			g, err := Generate(w.family, w.n, w.avgDeg, w.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scalar := core.DefaultParams()
+			scalar.Parallelism = 1
+			scalar.ScalarObjectives = true
+			refIS := lowdeg.MIS(g, scalar, nil)
+			refMM := lowdeg.MaximalMatching(g, scalar, nil)
+			for _, par := range parallelismLevels {
+				kernel := core.DefaultParams()
+				kernel.Parallelism = par
+				is := lowdeg.MIS(g, kernel, nil)
+				if len(is.IndependentSet) != len(refIS.IndependentSet) || len(is.Phases) != len(refIS.Phases) {
+					t.Fatalf("Parallelism=%d: kernel MIS %d nodes/%d phases, scalar scan %d/%d",
+						par, len(is.IndependentSet), len(is.Phases), len(refIS.IndependentSet), len(refIS.Phases))
+				}
+				for i := range is.IndependentSet {
+					if is.IndependentSet[i] != refIS.IndependentSet[i] {
+						t.Fatalf("Parallelism=%d: MIS node %d is %d, scalar scan %d",
+							par, i, is.IndependentSet[i], refIS.IndependentSet[i])
+					}
+				}
+				for i := range is.Phases {
+					if is.Phases[i].SeedsTried != refIS.Phases[i].SeedsTried {
+						t.Fatalf("Parallelism=%d: phase %d tried %d seeds, scalar scan %d",
+							par, i, is.Phases[i].SeedsTried, refIS.Phases[i].SeedsTried)
+					}
+				}
+				mm := lowdeg.MaximalMatching(g, kernel, nil)
+				if len(mm.Matching) != len(refMM.Matching) {
+					t.Fatalf("Parallelism=%d: kernel matching %d edges, scalar scan %d",
+						par, len(mm.Matching), len(refMM.Matching))
+				}
+				for i := range mm.Matching {
+					if mm.Matching[i] != refMM.Matching[i] {
+						t.Fatalf("Parallelism=%d: matching edge %d is %v, scalar scan %v",
+							par, i, mm.Matching[i], refMM.Matching[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEvalKeysShardedMatchesSerial is the sharded-vs-serial equality table
+// for the hash kernel: EvalKeysW must be byte-identical to EvalKeys for
+// every worker count, key-vector length (below and above the shard
+// threshold), family width and field size, on dirty output buffers.
+func TestEvalKeysShardedMatchesSerial(t *testing.T) {
+	families := []hashfam.Family{
+		core.PairwiseFamily(1 << 12),
+		core.KWiseFamily(1<<12, 4),
+		hashfam.New(97, 2),
+		hashfam.New(1<<33, 3), // wide-reduction path (p > 2^32)
+	}
+	sizes := []int{1, 100, 4095, 8192, 40000}
+	for _, fam := range families {
+		ev := hashfam.NewEvaluator(fam)
+		enum := fam.Enumerate()
+		for s := 0; s < 3 && enum.Next(); s++ {
+			seed := append([]uint64(nil), enum.Seed()...)
+			for _, size := range sizes {
+				keys := make([]uint64, size)
+				for i := range keys {
+					keys[i] = (uint64(i)*0x9E3779B9 + 7) % fam.P()
+				}
+				want := ev.EvalKeys(seed, keys, make([]uint64, size))
+				for _, workers := range parallelismLevels {
+					out := make([]uint64, size)
+					for i := range out {
+						out[i] = ^uint64(0) // dirty
+					}
+					got := ev.EvalKeysW(seed, keys, out, workers)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("p=%d k=%d size=%d workers=%d: slot %d = %d, serial %d",
+								fam.P(), fam.K(), size, workers, i, got[i], want[i])
+						}
+					}
+				}
+			}
 		}
 	}
 }
