@@ -21,10 +21,19 @@ BENCH_BASELINE ?= $(shell ls BENCH_2*.json 2>/dev/null | LC_ALL=C sort | tail -1
 # the warm-Engine reuse pairs.
 BENCH_WARN ?= BenchmarkT7_SeedSearch|BenchmarkT7_SelectionScan|BenchmarkEngineReuse
 
-.PHONY: build test race race-engine bench bench-smoke bench-save bench-compare fmt fmt-check vet ci
+.PHONY: build build-cmds test race race-engine bench bench-smoke bench-save bench-compare fmt fmt-check vet ci
 
 build:
 	$(GO) build ./...
+
+# Every runnable entry point, explicitly: the CLI commands and the example
+# programs. They live in the root module so `make build` compiles them today,
+# but this target pins the invariant — if an example ever gains a build tag
+# or moves into its own module, CI still builds every main package instead of
+# silently drifting.
+build-cmds:
+	$(GO) build ./cmd/...
+	$(GO) build ./examples/...
 
 # Fast feedback: full suite without the race detector.
 test:
@@ -39,12 +48,15 @@ race:
 
 # The warm-Engine determinism tables in isolation, plus the cross-path
 # equivalence tables (epoch-stamped vs scalar objectives in lowdeg, sharded
-# vs serial EvalKeys): worker-count independence of a REUSED engine (dirty
-# scratch buffers, pooled contexts) under the race detector. Part of `make
-# race` too; this target mirrors the dedicated CI job so an engine-reuse or
-# kernel-equivalence regression is attributable at a glance.
+# vs serial EvalKeys) and the request-scoped API tables (cancellation at
+# every Parallelism level against a shared engine, per-solve override
+# equivalence, observer-stream determinism): worker-count independence of a
+# REUSED engine (dirty scratch buffers, pooled contexts) under the race
+# detector. Part of `make race` too; this target mirrors the dedicated CI
+# job so an engine-reuse, equivalence or cancellation regression is
+# attributable at a glance.
 race-engine:
-	$(GO) test -race -timeout 30m -run 'TestEngineReuseWorkerCountIndependence|TestEngineConcurrentSolves|TestHashKernelMatchesScalarPath|TestLowDegObjectiveKernelVsScalar|TestEvalKeysShardedMatchesSerial' .
+	$(GO) test -race -timeout 30m -run 'TestEngineReuseWorkerCountIndependence|TestEngineConcurrentSolves|TestHashKernelMatchesScalarPath|TestLowDegObjectiveKernelVsScalar|TestEvalKeysShardedMatchesSerial|TestEngineCancellationWorkerCountTable|TestEngineCancellationMidSolve|TestSolveOptionOverrideEquivalence|TestObserverDeterministicAcrossParallelism' .
 
 # Full benchmark run (minutes); BENCH_PATTERN narrows it.
 bench:
@@ -89,4 +101,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt-check race race-engine bench-smoke
+ci: build build-cmds vet fmt-check race race-engine bench-smoke

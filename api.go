@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -86,8 +87,12 @@ type Options struct {
 	// worker-count-independence tests run under -race in CI — so this knob
 	// trades only wall-clock time, never output.
 	Parallelism int
-	// Serial disables host parallelism entirely; it is a legacy alias for
-	// Parallelism: 1 and takes precedence over Parallelism when set.
+	// Serial disables host parallelism entirely.
+	//
+	// Deprecated: set Parallelism: 1 instead. Serial predates the
+	// Parallelism knob and is kept only so existing callers keep compiling;
+	// its precedence is unchanged (Serial wins over Parallelism when both
+	// are set, decided in core.EffectiveParallelism).
 	Serial bool
 }
 
@@ -165,8 +170,136 @@ type MISResult struct {
 	Costs      *CostReport
 }
 
-// ErrNilGraph is returned when the input graph is nil.
-var ErrNilGraph = errors.New("repro: nil graph")
+// Sentinel errors. Every error returned by the solve API matches exactly one
+// of these under errors.Is; the structured types below carry the detail and
+// are reachable through errors.As.
+var (
+	// ErrNilGraph is returned when the input graph is nil.
+	ErrNilGraph = errors.New("repro: nil graph")
+	// ErrCanceled marks a solve abandoned through its context. The returned
+	// error also wraps the context's cause, so errors.Is(err,
+	// context.Canceled) (or context.DeadlineExceeded) reports why.
+	ErrCanceled = errors.New("repro: solve canceled")
+	// ErrUnknownStrategy marks an Options.Strategy (or WithStrategy value)
+	// that names none of the defined strategies; errors.As with
+	// *UnknownStrategyError recovers the offending value.
+	ErrUnknownStrategy = errors.New("repro: unknown strategy")
+	// ErrNotMaximal marks an internal failure: the solver produced output
+	// that did not verify maximal. It should never be observed; errors.As
+	// with *NotMaximalError recovers the verifier's reason.
+	ErrNotMaximal = errors.New("repro: output not maximal")
+)
+
+// UnknownStrategyError reports the strategy value that failed to resolve.
+// It matches ErrUnknownStrategy under errors.Is.
+type UnknownStrategyError struct {
+	Strategy Strategy
+}
+
+func (e *UnknownStrategyError) Error() string {
+	return fmt.Sprintf("repro: unknown strategy %q", e.Strategy)
+}
+
+// Is makes errors.Is(err, ErrUnknownStrategy) hold for this type.
+func (e *UnknownStrategyError) Is(target error) bool { return target == ErrUnknownStrategy }
+
+// NotMaximalError reports which algorithm failed post-solve verification and
+// the verifier's reason. It matches ErrNotMaximal under errors.Is.
+type NotMaximalError struct {
+	Algorithm string // "matching" or "mis"
+	Reason    string // the check package's counterexample description
+}
+
+func (e *NotMaximalError) Error() string {
+	return fmt.Sprintf("repro: internal error, %s output not maximal: %s", e.Algorithm, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrNotMaximal) hold for this type.
+func (e *NotMaximalError) Is(target error) bool { return target == ErrNotMaximal }
+
+// canceledError wraps both ErrCanceled and the context's cause, so callers
+// can branch on errors.Is(err, ErrCanceled) as well as on the underlying
+// context.Canceled / context.DeadlineExceeded.
+func canceledError(ctx context.Context) error {
+	cause := context.Cause(ctx)
+	if cause == nil {
+		// The solve observed cancellation through Params.Done but the
+		// context has not recorded a cause yet (possible only with racy
+		// custom contexts); fall back to the generic cause.
+		cause = context.Canceled
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}
+
+// RoundEvent is the per-round telemetry record delivered to an Observer; see
+// core.RoundEvent for the field semantics.
+type RoundEvent = core.RoundEvent
+
+// Observer receives one OnRound call per completed round of a solve it is
+// attached to (WithObserver). Delivery is synchronous from the solve's
+// coordinating goroutine, strictly in round order, and the event stream is
+// deterministic: the same graph, options and build produce the same events
+// in the same order at every Parallelism setting — host parallelism lives
+// inside a round, never across rounds. An observer therefore needs no
+// locking of its own unless it is shared across concurrent solves, and a
+// slow OnRound stalls only its own solve.
+type Observer interface {
+	OnRound(RoundEvent)
+}
+
+// solveConfig is the fully resolved per-request configuration: the engine's
+// base Options after value-copy, plus the request-scoped extras that are not
+// Options fields.
+type solveConfig struct {
+	Options
+	observer Observer
+}
+
+// SolveOption overrides one knob of a single solve, layered over the
+// engine's base Options: Engine.MaximalMatchingCtx(ctx, g, WithStrategy(s))
+// behaves bit-identically to the same call on a dedicated engine constructed
+// with that strategy. Options are applied in order; later options win.
+type SolveOption func(*solveConfig)
+
+// WithStrategy forces the algorithm for this solve (see Strategy).
+func WithStrategy(s Strategy) SolveOption {
+	return func(c *solveConfig) { c.Strategy = s }
+}
+
+// WithParallelism pins the host worker count for this solve (0 = one per
+// logical CPU, 1 = serial). It also clears the deprecated Serial flag so the
+// explicit per-solve value always wins over an engine-level alias.
+func WithParallelism(workers int) SolveOption {
+	return func(c *solveConfig) { c.Parallelism, c.Serial = workers, false }
+}
+
+// WithEpsilon sets the space exponent ε for this solve.
+func WithEpsilon(eps float64) SolveOption {
+	return func(c *solveConfig) { c.Epsilon = eps }
+}
+
+// WithSlack sets the concentration slack for this solve.
+func WithSlack(slack float64) SolveOption {
+	return func(c *solveConfig) { c.Slack = slack }
+}
+
+// WithThresholdFrac sets the seed-search threshold fraction for this solve.
+func WithThresholdFrac(frac float64) SolveOption {
+	return func(c *solveConfig) { c.ThresholdFrac = frac }
+}
+
+// WithCostTracking enables or disables the MPC cost model for this solve.
+func WithCostTracking(on bool) SolveOption {
+	return func(c *solveConfig) { c.SkipCostTracking = !on }
+}
+
+// WithObserver attaches a per-round observer to this solve. Observation
+// never changes results: events are emitted at round boundaries from state
+// the solve computes anyway (plus a live-node count), and the golden corpus
+// is byte-identical with or without an observer attached.
+func WithObserver(o Observer) SolveOption {
+	return func(c *solveConfig) { c.observer = o }
+}
 
 // Engine is a reusable solver for the deterministic algorithms. It owns a
 // pool of per-solve scratch contexts (arena-backed masks, tables and CSR
@@ -177,10 +310,14 @@ var ErrNilGraph = errors.New("repro: nil graph")
 //
 // An Engine is safe for concurrent use: each in-flight solve checks a
 // private context out of the pool, so a server can share one Engine across
-// request goroutines (that is the intended lifecycle — construct once,
-// reuse for all traffic of a given Options). The determinism contract is
-// unchanged: results are bit-identical to the free functions at every
-// Parallelism setting, whether the engine is cold, warm, or shared.
+// request goroutines — that is the intended lifecycle: construct once,
+// reuse for ALL traffic. Heterogeneous requests do not need one engine per
+// configuration: the Ctx entry points take per-solve SolveOption overrides
+// (strategy, parallelism, thresholds, cost tracking, observer) layered over
+// the base Options, with results bit-identical to a dedicated engine built
+// with the overridden Options. The determinism contract is unchanged:
+// results are bit-identical to the free functions at every Parallelism
+// setting, whether the engine is cold, warm, or shared.
 //
 // The zero value is an Engine with default Options.
 type Engine struct {
@@ -206,31 +343,75 @@ func (e *Engine) ctx() *scratch.Context {
 	return scratch.New()
 }
 
-// MaximalMatching computes a maximal matching of g deterministically
-// (Theorem 1), reusing the engine's pooled solve state. The result is
-// verified maximal before returning and never aliases engine memory.
-func (e *Engine) MaximalMatching(g *Graph) (*MatchingResult, error) {
+// config layers per-solve options over the engine's base Options. The base
+// is copied by value, so a SolveOption can never mutate the engine.
+func (e *Engine) config(opts []SolveOption) *solveConfig {
+	cfg := &solveConfig{Options: e.opts}
+	for _, o := range opts {
+		if o != nil {
+			o(cfg)
+		}
+	}
+	return cfg
+}
+
+// MaximalMatchingCtx computes a maximal matching of g deterministically
+// (Theorem 1), scoped to ctx and with any per-solve option overrides layered
+// over the engine's base Options. The result is verified maximal before
+// returning and never aliases engine memory.
+//
+// Cancellation: the solve polls ctx only at round boundaries and between
+// seed batches of the conditional-expectations searches — never inside a
+// computation — so a solve that completes is bit-identical to an
+// uncancellable one, and abandoning a request costs at most one round of
+// residual work. A canceled solve returns an error matching both
+// ErrCanceled and the context's cause (context.Canceled or
+// context.DeadlineExceeded) under errors.Is; its scratch context is still
+// reset and re-pooled, so the engine stays warm and allocation-flat for
+// subsequent solves.
+func (e *Engine) MaximalMatchingCtx(ctx context.Context, g *Graph, opts ...SolveOption) (*MatchingResult, error) {
 	if g == nil {
 		return nil, ErrNilGraph
 	}
+	if ctx.Err() != nil {
+		return nil, canceledError(ctx)
+	}
 	sc := e.ctx()
-	out, err := solveMatching(sc, g, &e.opts)
-	// On panic the context is abandoned rather than re-pooled.
+	out, err := solveMatching(ctx, sc, g, e.config(opts))
+	// On panic the context is abandoned rather than re-pooled; on
+	// cancellation the solver left it Reset, so re-pooling is safe.
 	e.pool.Put(sc)
 	return out, err
 }
 
-// MaximalIndependentSet computes an MIS of g deterministically (Theorem 1),
-// reusing the engine's pooled solve state. The result is verified maximal
-// before returning and never aliases engine memory.
-func (e *Engine) MaximalIndependentSet(g *Graph) (*MISResult, error) {
+// MaximalIndependentSetCtx computes an MIS of g deterministically
+// (Theorem 1), scoped to ctx and with per-solve option overrides. The
+// cancellation and override semantics are those of MaximalMatchingCtx.
+func (e *Engine) MaximalIndependentSetCtx(ctx context.Context, g *Graph, opts ...SolveOption) (*MISResult, error) {
 	if g == nil {
 		return nil, ErrNilGraph
 	}
+	if ctx.Err() != nil {
+		return nil, canceledError(ctx)
+	}
 	sc := e.ctx()
-	out, err := solveMIS(sc, g, &e.opts)
+	out, err := solveMIS(ctx, sc, g, e.config(opts))
 	e.pool.Put(sc)
 	return out, err
+}
+
+// MaximalMatching computes a maximal matching of g deterministically
+// (Theorem 1), reusing the engine's pooled solve state. It is
+// MaximalMatchingCtx with context.Background() and no overrides.
+func (e *Engine) MaximalMatching(g *Graph) (*MatchingResult, error) {
+	return e.MaximalMatchingCtx(context.Background(), g)
+}
+
+// MaximalIndependentSet computes an MIS of g deterministically (Theorem 1),
+// reusing the engine's pooled solve state. It is MaximalIndependentSetCtx
+// with context.Background() and no overrides.
+func (e *Engine) MaximalIndependentSet(g *Graph) (*MISResult, error) {
+	return e.MaximalIndependentSetCtx(context.Background(), g)
 }
 
 // MaximalMatching computes a maximal matching of g deterministically
@@ -239,12 +420,12 @@ func (e *Engine) MaximalIndependentSet(g *Graph) (*MISResult, error) {
 //
 // It is a convenience wrapper equivalent to a one-shot Engine solve;
 // callers issuing repeated solves should hold an Engine to reuse its
-// pooled state.
+// pooled state (and its Ctx variants for request scoping).
 func MaximalMatching(g *Graph, opts *Options) (*MatchingResult, error) {
 	if g == nil {
 		return nil, ErrNilGraph
 	}
-	return solveMatching(scratch.New(), g, opts)
+	return solveMatching(context.Background(), scratch.New(), g, oneShotConfig(opts))
 }
 
 // MaximalIndependentSet computes an MIS of g deterministically (Theorem 1).
@@ -253,18 +434,43 @@ func MaximalMatching(g *Graph, opts *Options) (*MatchingResult, error) {
 //
 // It is a convenience wrapper equivalent to a one-shot Engine solve;
 // callers issuing repeated solves should hold an Engine to reuse its
-// pooled state.
+// pooled state (and its Ctx variants for request scoping).
 func MaximalIndependentSet(g *Graph, opts *Options) (*MISResult, error) {
 	if g == nil {
 		return nil, ErrNilGraph
 	}
-	return solveMIS(scratch.New(), g, opts)
+	return solveMIS(context.Background(), scratch.New(), g, oneShotConfig(opts))
 }
 
-// resolve computes the per-solve parameterisation: core params, optional
-// cost model and the concrete strategy for g.
-func resolve(g *Graph, opts *Options) (core.Params, *simcost.Model, Strategy, error) {
+// oneShotConfig adapts the free functions' *Options to the request-scoped
+// configuration (nil means defaults, exactly as before).
+func oneShotConfig(opts *Options) *solveConfig {
+	cfg := &solveConfig{}
+	if opts != nil {
+		cfg.Options = *opts
+	}
+	return cfg
+}
+
+// resolve computes the per-solve parameterisation: core params (including
+// the request's cancellation hook and observer), optional cost model and the
+// concrete strategy for g.
+func resolve(ctx context.Context, g *Graph, cfg *solveConfig) (core.Params, *simcost.Model, Strategy, error) {
+	opts := &cfg.Options
 	p := opts.params()
+	if done := ctx.Done(); done != nil {
+		p.Done = func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return false
+			}
+		}
+	}
+	if cfg.observer != nil {
+		p.Observe = cfg.observer.OnRound
+	}
 	var model *simcost.Model
 	if opts.trackCosts() {
 		model = simcost.New(g.N(), g.M(), p.Epsilon)
@@ -281,47 +487,60 @@ func resolve(g *Graph, opts *Options) (core.Params, *simcost.Model, Strategy, er
 	case StrategyLowDegree, StrategySparsify:
 		return p, model, strat, nil
 	default:
-		return p, model, strat, fmt.Errorf("repro: unknown strategy %q", strat)
+		return p, model, strat, &UnknownStrategyError{Strategy: strat}
 	}
 }
 
-func solveMatching(sc *scratch.Context, g *Graph, opts *Options) (*MatchingResult, error) {
-	p, model, strat, err := resolve(g, opts)
+func solveMatching(ctx context.Context, sc *scratch.Context, g *Graph, cfg *solveConfig) (*MatchingResult, error) {
+	p, model, strat, err := resolve(ctx, g, cfg)
 	if err != nil {
 		return nil, err
 	}
 	var out *MatchingResult
+	canceled := false
 	switch strat {
 	case StrategyLowDegree:
 		res := lowdeg.MaximalMatchingIn(sc, g, p, model)
+		canceled = res.MIS.Canceled
 		out = &MatchingResult{Edges: res.Matching, Iterations: len(res.MIS.Phases), Strategy: strat}
 	case StrategySparsify:
 		res := matching.DeterministicIn(sc, g, p, model)
+		canceled = res.Canceled
 		out = &MatchingResult{Edges: res.Matching, Iterations: len(res.Iterations), Strategy: strat}
 	}
+	if canceled {
+		// The partial matching is discarded: a canceled solve has no result.
+		return nil, canceledError(ctx)
+	}
 	if ok, reason := check.IsMaximalMatching(g, out.Edges); !ok {
-		return nil, fmt.Errorf("repro: internal error, output not maximal: %s", reason)
+		return nil, &NotMaximalError{Algorithm: "matching", Reason: reason}
 	}
 	out.Costs = report(model)
 	return out, nil
 }
 
-func solveMIS(sc *scratch.Context, g *Graph, opts *Options) (*MISResult, error) {
-	p, model, strat, err := resolve(g, opts)
+func solveMIS(ctx context.Context, sc *scratch.Context, g *Graph, cfg *solveConfig) (*MISResult, error) {
+	p, model, strat, err := resolve(ctx, g, cfg)
 	if err != nil {
 		return nil, err
 	}
 	var out *MISResult
+	canceled := false
 	switch strat {
 	case StrategyLowDegree:
 		res := lowdeg.MISIn(sc, g, p, model)
+		canceled = res.Canceled
 		out = &MISResult{Nodes: res.IndependentSet, Iterations: len(res.Phases), Strategy: strat}
 	case StrategySparsify:
 		res := mis.DeterministicIn(sc, g, p, model)
+		canceled = res.Canceled
 		out = &MISResult{Nodes: res.IndependentSet, Iterations: len(res.Iterations), Strategy: strat}
 	}
+	if canceled {
+		return nil, canceledError(ctx)
+	}
 	if ok, reason := check.IsMaximalIS(g, out.Nodes); !ok {
-		return nil, fmt.Errorf("repro: internal error, output not maximal: %s", reason)
+		return nil, &NotMaximalError{Algorithm: "mis", Reason: reason}
 	}
 	out.Costs = report(model)
 	return out, nil

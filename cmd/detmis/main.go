@@ -1,22 +1,40 @@
 // Command detmis runs the paper's deterministic maximal independent set on
 // a synthetic workload or an edge-list file and prints the outcome with its
-// MPC cost report.
+// MPC cost report. The solve is request-scoped: Ctrl-C (SIGINT) or SIGTERM
+// cancels it at the next round boundary, and -timeout bounds it with a
+// deadline; -trace streams the deterministic per-round observer events to
+// stderr.
 //
 // Usage:
 //
 //	detmis -graph powerlaw -n 4096 -deg 8 -eps 0.5 [-strategy auto] [-seed 1] [-v]
 //	detmis -input graph.txt          # file: "n m" header then "u v" lines
+//	detmis -graph gnm -n 100000 -timeout 500ms -trace
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro"
 	"repro/internal/graph"
 )
+
+// traceObserver streams round events to stderr; the stream is deterministic
+// (same input and options ⇒ same lines) at any -par setting.
+type traceObserver struct{}
+
+func (traceObserver) OnRound(ev repro.RoundEvent) {
+	fmt.Fprintf(os.Stderr, "round %d [%s/%s]: live %d nodes / %d edges, %d seeds tried (found=%v), selected %d\n",
+		ev.Round, ev.Algorithm, ev.Strategy, ev.LiveNodes, ev.LiveEdges, ev.SeedsTried, ev.SeedFound, ev.Selected)
+}
 
 func main() {
 	var (
@@ -28,11 +46,24 @@ func main() {
 		strategy = flag.String("strategy", "auto", "auto | sparsify | lowdeg")
 		seed     = flag.Uint64("seed", 1, "workload generator seed")
 		par      = flag.Int("par", 0, "host workers (0 = one per CPU, 1 = serial); results are identical at any setting")
+		timeout  = flag.Duration("timeout", 0, "abandon the solve after this duration (0 = no deadline)")
+		trace    = flag.Bool("trace", false, "stream per-round observer events to stderr")
 		verbose  = flag.Bool("v", false, "print the independent set")
 	)
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("detmis: ")
+
+	// Signal-driven cancellation: the first SIGINT/SIGTERM cancels the solve
+	// context (the engine abandons the solve at the next round boundary);
+	// a second signal kills the process via the restored default handler.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var g *repro.Graph
 	var err error
@@ -50,9 +81,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := &repro.Options{Epsilon: *eps, Strategy: repro.Strategy(*strategy), Parallelism: *par}
-	res, err := repro.MaximalIndependentSet(g, opts)
+
+	eng := repro.NewEngine(&repro.Options{Epsilon: *eps, Parallelism: *par})
+	solveOpts := []repro.SolveOption{repro.WithStrategy(repro.Strategy(*strategy))}
+	if *trace {
+		solveOpts = append(solveOpts, repro.WithObserver(traceObserver{}))
+	}
+	start := time.Now()
+	res, err := eng.MaximalIndependentSetCtx(ctx, g, solveOpts...)
 	if err != nil {
+		if errors.Is(err, repro.ErrCanceled) {
+			log.Fatalf("solve abandoned after %v: %v", time.Since(start).Round(time.Millisecond), err)
+		}
 		log.Fatal(err)
 	}
 

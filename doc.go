@@ -40,11 +40,13 @@
 //		...
 //	}
 //
-// Lifecycle: construct one Engine per Options configuration and share it —
-// it is safe for concurrent use (each in-flight solve checks a private
-// context out of the pool and returns it when done, so concurrency costs
-// pool depth, not correctness). Results never alias engine memory. The free
-// functions MaximalMatching and MaximalIndependentSet are convenience
+// Lifecycle: construct ONE Engine and share it across all traffic — it is
+// safe for concurrent use (each in-flight solve checks a private context
+// out of the pool and returns it when done, so concurrency costs pool
+// depth, not correctness), and heterogeneous request shapes are served
+// through per-solve overrides rather than per-configuration engines (see
+// "Request-scoped solves" below). Results never alias engine memory. The
+// free functions MaximalMatching and MaximalIndependentSet are convenience
 // wrappers equivalent to a one-shot engine solve; prefer an Engine whenever
 // solves repeat. The determinism contract below is unchanged by reuse:
 // outputs are bit-identical cold, warm, or pooled — scratch reuse changes
@@ -81,6 +83,58 @@
 // warm re-solves allocation-flat; internal/core/selection_equiv_test.go
 // pins the whole invariant against eager-reset references, including across
 // a forced wrap.
+//
+// # Request-scoped solves
+//
+// The Ctx entry points — (*Engine).MaximalMatchingCtx and
+// (*Engine).MaximalIndependentSetCtx — scope each solve to a
+// context.Context and a set of per-solve SolveOptions layered over the
+// engine's base Options:
+//
+//	eng := repro.NewEngine(nil) // one engine for ALL request shapes
+//	ctx, cancel := context.WithTimeout(req.Context(), 200*time.Millisecond)
+//	defer cancel()
+//	res, err := eng.MaximalMatchingCtx(ctx, g,
+//		repro.WithStrategy(repro.StrategySparsify),
+//		repro.WithObserver(metrics))
+//
+// Overrides (WithStrategy, WithParallelism, WithEpsilon, WithSlack,
+// WithThresholdFrac, WithCostTracking, WithObserver) are bit-identical to a
+// dedicated engine constructed with the overridden Options — enforced per
+// (strategy, family) cell by TestSolveOptionOverrideEquivalence — so a
+// server shares one warm scratch pool across heterogeneous traffic instead
+// of holding one engine per configuration.
+//
+// Cancellation is checkpoint-based: the round loops poll ctx only at round
+// boundaries and between seed batches of the conditional-expectations
+// searches, never inside a seed evaluation or selection scan. That placement
+// is deliberate — a check anywhere finer would sit on the hash kernel's hot
+// path and, worse, could interact with the first-qualifying-seed semantics;
+// at boundaries, a solve that completes is bit-identical to an
+// uncancellable one (the golden corpus does not change when contexts are
+// threaded through), and abandoning a request costs at most one round of
+// residual work. A canceled solve returns an error matching ErrCanceled and
+// the context's cause (context.Canceled / context.DeadlineExceeded) under
+// errors.Is; its partial output is discarded, and its scratch context is
+// reset and re-pooled so the engine stays warm and allocation-flat — the
+// -race cancellation tables (make race-engine) cancel mid-solve at every
+// Parallelism level and demand reference-identical bits from the very next
+// solve.
+//
+// Errors are structured: ErrNilGraph, ErrCanceled, ErrUnknownStrategy and
+// ErrNotMaximal are errors.Is sentinels, with *UnknownStrategyError and
+// *NotMaximalError carrying the offending strategy and the verifier's
+// reason through errors.As.
+//
+// The observer (WithObserver) is the telemetry seam: one RoundEvent per
+// derandomization round — algorithm, strategy, live nodes/edges at round
+// start, seeds evaluated, selection size — delivered synchronously from the
+// solve's coordinating goroutine. The stream is deterministic: host
+// parallelism lives inside a round, never across rounds, so events arrive
+// in round order with identical contents at every Parallelism setting
+// (TestObserverDeterministicAcrossParallelism pins the full stream at 1, 2
+// and 8 workers). Observation never changes results; its only cost is a
+// live-node count per observed round.
 //
 // Everything the algorithms rely on is implemented in this module under
 // internal/: the MPC cluster simulator with Lemma 4's constant-round

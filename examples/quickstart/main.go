@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 )
@@ -56,13 +58,21 @@ func main() {
 	// Engine and share it — every solve after the first reuses the pooled
 	// per-solve buffers, so steady-state traffic is allocation-flat.
 	// Results are bit-identical to the free functions either way.
+	// A server shares ONE engine across all request shapes: solves are
+	// request-scoped, so each call carries its own context (deadline /
+	// cancellation, honoured at round boundaries) and per-solve option
+	// overrides layered over the engine's base Options — bit-identical to a
+	// dedicated engine constructed with those Options.
 	eng := repro.NewEngine(nil)
 	for seed := uint64(7); seed < 10; seed++ {
 		big, err := repro.Generate("gnm", 4096, 12, seed)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := eng.MaximalIndependentSet(big)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		res, err := eng.MaximalIndependentSetCtx(ctx, big,
+			repro.WithStrategy(repro.StrategySparsify))
+		cancel()
 		if err != nil {
 			log.Fatal(err)
 		}

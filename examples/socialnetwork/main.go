@@ -10,8 +10,11 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 	"repro/internal/check"
@@ -66,4 +69,27 @@ func main() {
 		same = det.Nodes[i] == again.Nodes[i]
 	}
 	fmt.Printf("warm-engine rerun produces the identical spokesperson set: %v\n", same)
+
+	// Request-scoped serving: the same engine under a deadline, with the
+	// deterministic round observer as the telemetry seam. Events arrive in
+	// round order at any Parallelism; the observer sees the solve shrink.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	traced, err := eng.MaximalIndependentSetCtx(ctx, g, repro.WithObserver(progressPrinter{}))
+	if err != nil {
+		if errors.Is(err, repro.ErrCanceled) {
+			log.Fatalf("deadline hit before the solve finished: %v", err)
+		}
+		log.Fatal(err)
+	}
+	fmt.Printf("request-scoped rerun (with observer) agrees: %v\n", len(traced.Nodes) == len(det.Nodes))
+}
+
+// progressPrinter shows the deterministic observer stream: one line per
+// derandomization round, emitted in round order.
+type progressPrinter struct{}
+
+func (progressPrinter) OnRound(ev repro.RoundEvent) {
+	fmt.Printf("  round %2d: %6d live edges, %4d seeds tried, %4d nodes selected\n",
+		ev.Round, ev.LiveEdges, ev.SeedsTried, ev.Selected)
 }

@@ -66,6 +66,13 @@ type Options struct {
 	// bit-identical at any worker count (the first qualifying seed in
 	// enumeration order is selected); only wall-clock time changes.
 	Workers int
+	// Done, when non-nil, is polled once per batch boundary — before each
+	// charged batch evaluation, never inside one — and a true return stops
+	// the scan: the search returns the best seed seen so far with
+	// Result.Canceled set and no error. Searches that run to completion are
+	// bit-identical to Done == nil; this is the request-cancellation seam of
+	// the round loops (core.Params.Done threads through here).
+	Done func() bool
 }
 
 // DefaultMaxSeeds bounds seed scans when Options.MaxSeeds is 0. The theory
@@ -81,6 +88,11 @@ type Result struct {
 	Found      bool // Value >= the requested threshold
 	SeedsTried int
 	Batches    int
+	// Canceled is set when Options.Done stopped the scan at a batch
+	// boundary. Seed then holds the best candidate of the batches that DID
+	// evaluate — or nil when cancellation hit before the first batch — so
+	// callers must abandon the round rather than apply the seed.
+	Canceled bool
 }
 
 // ErrEmptyFamily is returned when the family has no seeds to try.
@@ -168,6 +180,18 @@ func SearchAtLeastBatch(fam hashfam.Family, obj BatchObjective, threshold int64,
 		return false
 	}
 
+	// The cancellation checkpoint: polled once per batch boundary, so a
+	// search never stops mid-batch and a completed search is bit-identical
+	// to an unobserved one.
+	canceled := func() bool {
+		if opts.Done != nil && opts.Done() {
+			best.Canceled = true
+			best.SeedsTried = tried - len(batch) // the pending batch never evaluated
+			return true
+		}
+		return false
+	}
+
 	for tried < opts.MaxSeeds && enum.Next() {
 		i := len(batch)
 		seed := seedBuf[i*seedLen : (i+1)*seedLen : (i+1)*seedLen]
@@ -175,11 +199,17 @@ func SearchAtLeastBatch(fam hashfam.Family, obj BatchObjective, threshold int64,
 		batch = append(batch, seed)
 		tried++
 		if len(batch) == opts.BatchSize {
+			if canceled() {
+				return best, nil
+			}
 			if flush() {
 				best.SeedsTried = tried
 				return best, nil
 			}
 		}
+	}
+	if canceled() {
+		return best, nil
 	}
 	if flush() {
 		best.SeedsTried = tried
@@ -216,7 +246,7 @@ func SearchBestBatch(fam hashfam.Family, obj BatchObjective, maxSeeds int, opts 
 	if err != nil {
 		return res, err
 	}
-	res.Found = res.SeedsTried > 0
+	res.Found = res.SeedsTried > 0 && !res.Canceled
 	return res, nil
 }
 

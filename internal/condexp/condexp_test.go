@@ -238,3 +238,67 @@ func BenchmarkSearchAtLeast(b *testing.B) {
 		}
 	}
 }
+
+// TestSearchAtLeastDoneStopsAtBatchBoundary: the cancellation hook is polled
+// only between batches — a canceled search returns the best of the batches
+// that evaluated (Canceled set, no error), and a Done that never fires is
+// unobservable.
+func TestSearchAtLeastDoneStopsAtBatchBoundary(t *testing.T) {
+	fam := hashfam.New(101, 2)
+	points := testPoints(40, fam.P())
+	obj := countBelow(fam, points, hashfam.Threshold(fam.P(), 1, 2))
+
+	// Done firing from the start: no batch ever evaluates.
+	res, err := SearchAtLeast(fam, obj, 1<<40, Options{
+		BatchSize: 8,
+		Done:      func() bool { return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Canceled || res.Batches != 0 || res.SeedsTried != 0 || res.Seed != nil {
+		t.Fatalf("immediate cancel evaluated work: %+v", res)
+	}
+
+	// Done firing after the second poll: exactly the batches before it
+	// evaluated, and SeedsTried counts only evaluated seeds.
+	polls := 0
+	res, err = SearchAtLeast(fam, obj, 1<<40, Options{
+		BatchSize: 8,
+		MaxSeeds:  64,
+		Done: func() bool {
+			polls++
+			return polls > 2
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Canceled {
+		t.Fatalf("not canceled: %+v", res)
+	}
+	if res.Batches != 2 || res.SeedsTried != 16 {
+		t.Fatalf("expected 2 evaluated batches / 16 seeds before cancel, got %+v", res)
+	}
+	if res.Seed == nil || res.Value < 0 {
+		t.Fatalf("canceled search lost its best-so-far: %+v", res)
+	}
+
+	// A Done that never fires changes nothing versus no Done at all.
+	ref, err := SearchAtLeast(fam, obj, 19, Options{BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SearchAtLeast(fam, obj, 19, Options{BatchSize: 8, Done: func() bool { return false }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Canceled || got.Value != ref.Value || got.SeedsTried != ref.SeedsTried || got.Batches != ref.Batches {
+		t.Fatalf("inert Done changed the search: got %+v, want %+v", got, ref)
+	}
+	for i := range ref.Seed {
+		if got.Seed[i] != ref.Seed[i] {
+			t.Fatalf("inert Done changed the selected seed")
+		}
+	}
+}

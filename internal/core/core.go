@@ -56,6 +56,61 @@ type Params struct {
 	// parallel_determinism_test.go can prove that end to end. Never set it
 	// in production code.
 	ScalarObjectives bool
+	// Done, when non-nil, reports whether the enclosing request has been
+	// abandoned (context canceled, deadline exceeded). The round loops poll
+	// it ONLY at round boundaries and between condexp seed batches — never
+	// inside a seed evaluation or a selection scan — so a solve that runs to
+	// completion is bit-identical to one with Done == nil, and cancellation
+	// latency is bounded by one round's work. Once Done returns true it must
+	// keep returning true (context semantics); the loops re-check it at
+	// their own boundaries rather than trusting a single observation.
+	Done func() bool
+	// Observe, when non-nil, receives one RoundEvent per completed round of
+	// the outer derandomization loops. Events are emitted from the solve's
+	// coordinating goroutine, strictly in round order, after the round's
+	// seed search and peel have finished — host parallelism lives inside a
+	// round, never across rounds, so the event stream is identical at every
+	// Parallelism setting. Observation never changes outputs: the only extra
+	// work an observer costs is the live-node count of each round.
+	Observe func(RoundEvent)
+}
+
+// RoundEvent is one completed round of a derandomized solve, as delivered to
+// Params.Observe: which algorithm and strategy ran it, how much of the graph
+// was still live when the round started, and what the seed search did. The
+// stream is deterministic — same input, options and code produce the same
+// events in the same order at any Parallelism.
+type RoundEvent struct {
+	// Algorithm is "matching" or "mis". The Section 5 matching runs MIS on
+	// the line graph; its events carry Algorithm "matching" with the live
+	// counts of the line graph it actually iterates on.
+	Algorithm string
+	// Strategy is "sparsify" (Sections 3/4) or "lowdeg" (Section 5).
+	Strategy string
+	// Round is the 1-based emission index within the solve.
+	Round int
+	// LiveNodes / LiveEdges measure the shrinking graph at round start:
+	// non-isolated nodes for the matching path, surviving (alive) nodes for
+	// the MIS paths, and the current edge count.
+	LiveNodes int
+	LiveEdges int
+	// SeedsTried / SeedFound report the round's conditional-expectations
+	// search; Selected is the number of edges (matching) or nodes (MIS) the
+	// selected seed committed this round.
+	SeedsTried int
+	SeedFound  bool
+	Selected   int
+}
+
+// Canceled reports whether the solve's request has been abandoned. It is the
+// single polling point of the cancellation checks (nil Done means "never").
+func (p Params) Canceled() bool { return p.Done != nil && p.Done() }
+
+// Emit delivers a round event to the observer, if any.
+func (p Params) Emit(ev RoundEvent) {
+	if p.Observe != nil {
+		p.Observe(ev)
+	}
 }
 
 // Workers resolves Parallelism to a concrete worker count.
@@ -705,10 +760,7 @@ type NodeSel struct {
 // paid once per round, where the eager alternative pays the id-space scan
 // once per candidate seed.
 func (sel *NodeSel) Init(n int, inQ []bool, keyOf func(graph.NodeID) uint64, zMax uint64) {
-	sel.n = n
-	sel.pos = graph.Grow(sel.pos, n)
-	sel.stamp = graph.Grow(sel.stamp, n)
-	ep := NextEpoch(sel.stamp, &sel.epoch)
+	ep := sel.begin(n)
 	live := graph.Grow(sel.live, n)[:0]
 	keys := graph.Grow(sel.keys, n)[:0]
 	for v := 0; v < n; v++ {
@@ -722,6 +774,45 @@ func (sel *NodeSel) Init(n int, inQ []bool, keyOf func(graph.NodeID) uint64, zMa
 	}
 	sel.live = live
 	sel.keys = keys
+	sel.finish(n, zMax)
+}
+
+// InitList is Init for callers that already hold the round's candidate list:
+// ids must be ascending and duplicate-free — exactly the list the Init mask
+// scan would produce — and the plan it builds is bit-identical to Init with
+// the corresponding mask, without the O(n) scan over the id space. The round
+// loops use it where the candidate set arrives as a list anyway (the
+// sparsified Q' of the MIS path, the shrinking live list of the lowdeg
+// phases), which removes the last per-round term proportional to the full id
+// space from those paths. The list is copied; the caller may reuse it.
+func (sel *NodeSel) InitList(n int, ids []graph.NodeID, keyOf func(graph.NodeID) uint64, zMax uint64) {
+	ep := sel.begin(n)
+	live := graph.Grow(sel.live, len(ids))[:0]
+	keys := graph.Grow(sel.keys, len(ids))[:0]
+	for _, v := range ids {
+		sel.pos[v] = int32(len(live))
+		sel.stamp[v] = ep
+		live = append(live, v)
+		keys = append(keys, keyOf(v))
+	}
+	sel.live = live
+	sel.keys = keys
+	sel.finish(n, zMax)
+}
+
+// begin sizes the stamped position index for an n-id round and advances the
+// generation (shared prologue of Init and InitList).
+func (sel *NodeSel) begin(n int) uint32 {
+	sel.n = n
+	sel.pos = graph.Grow(sel.pos, n)
+	sel.stamp = graph.Grow(sel.stamp, n)
+	return NextEpoch(sel.stamp, &sel.epoch)
+}
+
+// finish records the packed-path decision (shared epilogue of Init and
+// InitList): packed iff every z value under the caller's bound fits above an
+// id field of Len(n-1) bits in one word.
+func (sel *NodeSel) finish(n int, zMax uint64) {
 	sel.idBits, sel.packed = 0, false
 	if n >= 2 {
 		sel.idBits = uint(bits.Len64(uint64(n) - 1))

@@ -314,3 +314,61 @@ func FuzzSelectionStampedMatchesEager(f *testing.F) {
 		nodesEqual(t, "fuzz nodes", LocalMinNodesSel(nil, g, &sel, zLive), eagerLocalMinNodes(g, inQ, zFull))
 	})
 }
+
+// TestNodeSelInitListMatchesMask pins the prebuilt-list constructor: for the
+// list the mask scan would produce, InitList must build a plan whose live
+// order, key vector, position index and packed decision are all identical to
+// Init's — on a single dirty NodeSel driven across shrink-then-grow rounds,
+// interleaving the two constructors so each must overwrite the other's
+// stamped state.
+func TestNodeSelInitListMatchesMask(t *testing.T) {
+	var byMask, byList NodeSel
+	src := detrand.New(29)
+	for round := 0; round < 3; round++ {
+		for _, w := range selectionWorkloads {
+			g, err := gen.ByName(w.family, w.n, w.avg, w.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := g.N()
+			inQ := make([]bool, n)
+			var ids []graph.NodeID
+			for v := range inQ {
+				inQ[v] = src.Uint64()%3 != 0
+				if inQ[v] {
+					ids = append(ids, graph.NodeID(v))
+				}
+			}
+			keyOf := func(v graph.NodeID) uint64 { return SlotKey(uint64(v), 0, n) }
+			zMax := EdgeField(n) - 1
+			// Alternate which constructor runs on which (dirty) plan.
+			a, b := &byMask, &byList
+			if round%2 == 1 {
+				a, b = b, a
+			}
+			a.Init(n, inQ, keyOf, zMax)
+			b.InitList(n, ids, keyOf, zMax)
+
+			if len(a.Live()) != len(b.Live()) {
+				t.Fatalf("%s/n=%d: live %d vs %d", w.family, w.n, len(a.Live()), len(b.Live()))
+			}
+			for i := range a.Live() {
+				if a.Live()[i] != b.Live()[i] || a.Keys()[i] != b.Keys()[i] {
+					t.Fatalf("%s/n=%d: slot %d differs: (%d,%d) vs (%d,%d)",
+						w.family, w.n, i, a.Live()[i], a.Keys()[i], b.Live()[i], b.Keys()[i])
+				}
+			}
+			if a.packed != b.packed || a.idBits != b.idBits || a.n != b.n {
+				t.Fatalf("%s/n=%d: plan metadata differs: packed %v/%v idBits %d/%d",
+					w.family, w.n, a.packed, b.packed, a.idBits, b.idBits)
+			}
+			// The selections the two plans drive must agree exactly.
+			zLive := make([]uint64, len(a.Live()))
+			for i := range zLive {
+				zLive[i] = src.Uint64() % EdgeField(n)
+			}
+			nodesEqual(t, fmt.Sprintf("%s/n=%d round %d", w.family, w.n, round),
+				LocalMinNodesSel(nil, g, b, zLive), LocalMinNodesSel(nil, g, a, zLive))
+		}
+	}
+}

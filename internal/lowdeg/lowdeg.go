@@ -66,6 +66,10 @@ type Result struct {
 	// RoundsExecuted charges one aggregation per phase (what this
 	// implementation actually performs for greedy seed selection).
 	RoundsExecuted int
+	// Canceled is set when Params.Done stopped the solve at a phase (or
+	// seed-batch) boundary; IndependentSet is then partial and NOT maximal,
+	// and the caller must surface an error instead of the result.
+	Canceled bool
 }
 
 // Ell returns the phases-per-stage ℓ: the largest value such that the
@@ -215,12 +219,27 @@ func MISIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Mo
 
 	cur := g
 	// Solve-lifetime state stays off the arena (the arena is Reset each
-	// phase, these masks persist across phases).
+	// phase, these masks persist across phases). The live list mirrors the
+	// alive mask as an ascending id list, compacted as nodes leave: phases
+	// touch only the surviving set, so the O(n) id-space scans (isolated
+	// join, NodeSel construction) shrink with the graph instead of paying n
+	// every phase.
 	alive := make([]bool, n)
+	liveList := make([]graph.NodeID, n)
 	for v := range alive {
 		alive[v] = true
+		liveList[v] = graph.NodeID(v)
 	}
 	inMIS := make([]bool, n)
+	compactLive := func() {
+		keep := liveList[:0]
+		for _, v := range liveList {
+			if alive[v] {
+				keep = append(keep, v)
+			}
+		}
+		liveList = keep
+	}
 	evaluator := hashfam.NewEvaluator(fam)
 	// The per-node hash keys are the (solve-invariant) G² colours; the
 	// kernel path builds a per-phase NodeSel over the surviving nodes, so a
@@ -255,8 +274,8 @@ func MISIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Mo
 	}
 
 	joinIsolated := func() {
-		for v := 0; v < n; v++ {
-			if alive[v] && cur.Degree(graph.NodeID(v)) == 0 {
+		for _, v := range liveList {
+			if alive[v] && cur.Degree(v) == 0 {
 				inMIS[v] = true
 				alive[v] = false
 			}
@@ -264,19 +283,29 @@ func MISIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Mo
 	}
 
 	stage := 0
+	round := 0
+loop:
 	for {
 		joinIsolated()
+		compactLive()
 		if cur.M() == 0 {
 			break
 		}
 		stage++
 		for phase := 1; phase <= ell && cur.M() > 0; phase++ {
+			// Phase boundary: the solve's cancellation checkpoint.
+			if p.Canceled() {
+				res.Canceled = true
+				break loop
+			}
 			st := PhaseStats{Stage: stage, Phase: phase, EdgesBefore: cur.M()}
 
 			curG := cur
 			// Per-phase selection plan over the surviving nodes, shared
-			// read-only by the concurrent per-seed evaluations below.
-			sel.Init(n, alive, colorKeyOf, fam.P()-1)
+			// read-only by the concurrent per-seed evaluations below. The
+			// live list mirrors the alive mask (compacted after every
+			// removal), so the plan costs O(|alive|), not O(n).
+			sel.InitList(n, liveList, colorKeyOf, fam.P()-1)
 			objective := func(seeds [][]uint64, values []int64) {
 				spare := condexp.SpareWorkers(p.Workers(), len(seeds))
 				parallel.ForEach(p.Workers(), len(seeds), func(i int) {
@@ -302,9 +331,15 @@ func MISIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Mo
 				Label:    "lowdeg.seed",
 				MaxSeeds: p.MaxSeedsPerSearch,
 				Workers:  p.Workers(),
+				Done:     p.Done,
 			})
 			if err != nil {
 				panic(err)
+			}
+			if search.Canceled {
+				// search.Seed may be nil; abandon the phase whole.
+				res.Canceled = true
+				break loop
 			}
 			st.SeedsTried = search.SeedsTried
 			st.SeedFound = search.Found
@@ -329,10 +364,22 @@ func MISIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Mo
 				}
 			}
 			cur = cur.WithoutNodesInto(remove, p.Workers(), sc.Loop().Next())
+			compactLive()
 			st.EdgesAfter = cur.M()
 			st.RemovedFraction = float64(st.EdgesBefore-st.EdgesAfter) / float64(st.EdgesBefore)
 			res.Phases = append(res.Phases, st)
 			res.RoundsExecuted += 3 // evaluate + aggregate + apply
+			round++
+			p.Emit(core.RoundEvent{
+				Algorithm:  "mis",
+				Strategy:   "lowdeg",
+				Round:      round,
+				LiveNodes:  len(sel.Live()), // the phase-start live set
+				LiveEdges:  st.EdgesBefore,
+				SeedsTried: st.SeedsTried,
+				SeedFound:  st.SeedFound,
+				Selected:   st.Selected,
+			})
 			sc.Reset()
 		}
 		// Maintain r-hop neighbourhoods for the next stage (§5.2.2, one
@@ -340,6 +387,10 @@ func MISIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Mo
 		model.ChargeRounds(1, "lowdeg.maintain")
 		res.RoundsExecuted++
 	}
+	// A cancellation break exits mid-phase; the extra Reset (no-op on the
+	// normal path) keeps the "sc left Reset on return" contract for pooled
+	// contexts.
+	sc.Reset()
 	res.Stages = stage
 	res.RoundsPaper = col.Rounds + ballRounds + 3*stage
 
@@ -368,7 +419,18 @@ func MaximalMatching(g *graph.Graph, p core.Params, model *simcost.Model) *Match
 }
 
 // MaximalMatchingIn is MaximalMatching running the line-graph MIS on sc.
+// Observer events are relabeled Algorithm "matching"; their live counts
+// describe the line graph the MIS actually iterates on (LiveNodes are
+// surviving input edges). Cancellation (Params.Done) propagates through the
+// line-graph solve: MIS.Canceled marks an abandoned run whose Matching is
+// partial.
 func MaximalMatchingIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Model) *MatchingResult {
+	if inner := p.Observe; inner != nil {
+		p.Observe = func(ev core.RoundEvent) {
+			ev.Algorithm = "matching"
+			inner(ev)
+		}
+	}
 	lg, edges := g.LineGraph()
 	misRes := MISIn(sc, lg, p, model)
 	out := &MatchingResult{MIS: misRes}

@@ -26,6 +26,9 @@ type RoundStats struct {
 type MISResult struct {
 	IndependentSet []graph.NodeID
 	Rounds         []RoundStats
+	// Canceled is set when the done hook of MISIn stopped the run at a
+	// round boundary; IndependentSet is then partial and NOT maximal.
+	Canceled bool
 }
 
 // MIS runs Luby's algorithm: every round each surviving node draws a random
@@ -40,7 +43,7 @@ func MIS(g *graph.Graph, src *detrand.Source) *MISResult { return MISW(g, src, 0
 // runs through the serial z-vector kernel (core.LocalMinNodesZ), so the
 // output is identical at any worker count.
 func MISW(g *graph.Graph, src *detrand.Source, workers int) *MISResult {
-	return MISIn(scratch.New(), g, src, workers)
+	return MISIn(scratch.New(), g, src, workers, nil)
 }
 
 // MISIn is MISW drawing the per-round z table, candidate buffer and removal
@@ -51,7 +54,13 @@ func MISW(g *graph.Graph, src *detrand.Source, workers int) *MISResult {
 // neighbour in cur is alive, so the selection is exactly Luby's rule. The
 // output is identical to MISW for any prior state of sc and any worker
 // count; sc is Reset at every round boundary and left Reset on return.
-func MISIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source, workers int) *MISResult {
+//
+// done, when non-nil, follows the repository's cancellation convention
+// (core.Params.Done): it is polled once per round boundary and a true
+// return abandons the run with Canceled set — a baseline driven by the same
+// request machinery as the deterministic solvers stops on the same
+// checkpoints.
+func MISIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source, workers int, done func() bool) *MISResult {
 	n := g.N()
 	res := &MISResult{}
 	cur := g
@@ -62,6 +71,10 @@ func MISIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source, workers int
 	inMIS := make([]bool, n)
 
 	for round := 1; ; round++ {
+		if done != nil && done() {
+			res.Canceled = true
+			break
+		}
 		for v := 0; v < n; v++ {
 			if alive[v] && cur.Degree(graph.NodeID(v)) == 0 {
 				inMIS[v] = true
@@ -111,6 +124,9 @@ func MISIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source, workers int
 type MatchingResult struct {
 	Matching []graph.Edge
 	Rounds   []RoundStats
+	// Canceled is set when the done hook of MaximalMatchingIn stopped the
+	// run at a round boundary; Matching is then partial and NOT maximal.
+	Canceled bool
 }
 
 // MaximalMatching runs the Luby-style matching: every round each surviving
@@ -126,7 +142,7 @@ func MaximalMatching(g *graph.Graph, src *detrand.Source) *MatchingResult {
 // serial two-pass z-vector kernel (core.LocalMinEdgesZ) in edge order, so
 // the output is identical at any worker count.
 func MaximalMatchingW(g *graph.Graph, src *detrand.Source, workers int) *MatchingResult {
-	return MaximalMatchingIn(scratch.New(), g, src, workers)
+	return MaximalMatchingIn(scratch.New(), g, src, workers, nil)
 }
 
 // MaximalMatchingIn is MaximalMatchingW drawing the per-round edge list, z
@@ -138,8 +154,9 @@ func MaximalMatchingW(g *graph.Graph, src *detrand.Source, workers int) *Matchin
 // which replaced a per-round hash map — the selection compares (z, edge
 // key) pairs identically, so outputs are unchanged. The output is identical
 // to MaximalMatchingW for any prior state of sc and any worker count; sc is
-// Reset at every round boundary and left Reset on return.
-func MaximalMatchingIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source, workers int) *MatchingResult {
+// Reset at every round boundary and left Reset on return. done follows the
+// round-boundary cancellation convention documented on MISIn.
+func MaximalMatchingIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source, workers int, done func() bool) *MatchingResult {
 	res := &MatchingResult{}
 	cur := g
 	n := g.N()
@@ -148,6 +165,10 @@ func MaximalMatchingIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source,
 	// the Context's persistent slot rather than checked out per round.
 	lm := sc.EdgeMin()
 	for round := 1; cur.M() > 0; round++ {
+		if done != nil && done() {
+			res.Canceled = true
+			break
+		}
 		st := RoundStats{Round: round, EdgesBefore: cur.M()}
 		edges := cur.EdgesAppend(sc.EdgesCap(cur.M()))
 		z := sc.Uint64s(len(edges))

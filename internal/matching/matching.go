@@ -71,6 +71,10 @@ type Result struct {
 	// smallest-key edge because the candidate matching came back empty
 	// (never observed in practice; kept for unconditional correctness).
 	FallbackPicks int
+	// Canceled is set when Params.Done stopped the solve at a round (or
+	// seed-batch) boundary; Matching is then partial and NOT maximal, and
+	// the caller must surface an error instead of the result.
+	Canceled bool
 }
 
 // Deterministic computes a maximal matching of g with the derandomized
@@ -112,9 +116,30 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 	})
 
 	for iter := 1; cur.M() > 0; iter++ {
+		// Round boundary: the first of the solve's cancellation checkpoints.
+		if p.Canceled() {
+			res.Canceled = true
+			break
+		}
 		st := IterStats{Iteration: iter, EdgesBefore: cur.M()}
+		// The live-node count is observer-only work: skipped entirely when no
+		// observer is attached, so unobserved solves pay nothing.
+		liveNodes := 0
+		if p.Observe != nil {
+			for v := 0; v < n; v++ {
+				if cur.Degree(graph.NodeID(v)) > 0 {
+					liveNodes++
+				}
+			}
+		}
 
 		sp := sparsify.SparsifyEdgesIn(sc, cur, p, model)
+		if p.Canceled() {
+			// The sparsification may have been abandoned mid-chain; its
+			// partial result must not reach a seed search.
+			res.Canceled = true
+			break
+		}
 		estar := sp.EStar
 		estarEdges := estar.EdgesAppend(sc.EdgesCap(estar.M()))
 		st.ClassIndex = sp.ClassIndex
@@ -179,9 +204,16 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 			Label:    "mm.seed",
 			MaxSeeds: p.MaxSeedsPerSearch,
 			Workers:  p.Workers(),
+			Done:     p.Done,
 		})
 		if err != nil {
 			panic(err) // family is never empty
+		}
+		if search.Canceled {
+			// search.Seed may be nil (canceled before any batch evaluated);
+			// there is no seed to apply, so the round is abandoned whole.
+			res.Canceled = true
+			break
 		}
 		st.SeedsTried = search.SeedsTried
 		st.SeedFound = search.Found
@@ -208,8 +240,23 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 		st.EdgesAfter = cur.M()
 		st.RemovedFraction = float64(st.EdgesBefore-st.EdgesAfter) / float64(st.EdgesBefore)
 		res.Iterations = append(res.Iterations, st)
+		p.Emit(core.RoundEvent{
+			Algorithm:  "matching",
+			Strategy:   "sparsify",
+			Round:      iter,
+			LiveNodes:  liveNodes,
+			LiveEdges:  st.EdgesBefore,
+			SeedsTried: st.SeedsTried,
+			SeedFound:  st.SeedFound,
+			Selected:   st.MatchedEdges,
+		})
 		sc.Reset()
 	}
+	// A cancellation break exits mid-round with live slab checkouts; the
+	// extra Reset (a no-op after a normal exit) keeps the documented
+	// "sc left Reset on return" contract, which is what lets the Engine
+	// re-pool the context after a canceled solve without leaking its slabs.
+	sc.Reset()
 	return res
 }
 

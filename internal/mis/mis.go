@@ -57,6 +57,10 @@ type IterStats struct {
 type Result struct {
 	IndependentSet []graph.NodeID
 	Iterations     []IterStats
+	// Canceled is set when Params.Done stopped the solve at a round (or
+	// seed-batch) boundary; IndependentSet is then partial and NOT maximal,
+	// and the caller must surface an error instead of the result.
+	Canceled bool
 }
 
 // Deterministic computes a maximal independent set of g with the
@@ -150,13 +154,32 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 			}
 			break
 		}
+		// Round boundary: the solve's cancellation checkpoint.
+		if p.Canceled() {
+			res.Canceled = true
+			break
+		}
+		// Observer-only live count; unobserved solves skip it.
+		liveNodes := 0
+		if p.Observe != nil {
+			for v := 0; v < n; v++ {
+				if alive[v] {
+					liveNodes++
+				}
+			}
+		}
 
 		sp := sparsify.SparsifyNodesIn(sc, cur, p, model)
+		if p.Canceled() {
+			// The node sparsification may have been abandoned mid-chain.
+			res.Canceled = true
+			break
+		}
 		q := sp.QGraph
 		st.ClassIndex = sp.ClassIndex
 		st.Stages = len(sp.Stages)
 		st.SparsifyFallback = sp.UsedFallback
-		st.QSize = sparsify.CountMask(sp.Q)
+		st.QSize = len(sp.QList)
 		st.QMaxDegree = q.MaxDegree()
 
 		// N_v construction (Section 4.3): up to γ of v's Q'-neighbours (the
@@ -201,8 +224,10 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 
 		deg := sp.Deg
 		// The selection plan for this round's candidate set, built once and
-		// then shared read-only by every concurrent per-seed evaluation.
-		sel.Init(n, sp.Q, slotKeyOf, fam.P()-1)
+		// then shared read-only by every concurrent per-seed evaluation. The
+		// sparsifier already produced Q' as an ascending list, so the plan is
+		// built from it directly — no second O(n) mask scan per round.
+		sel.InitList(n, sp.QList, slotKeyOf, fam.P()-1)
 		objective := func(seeds [][]uint64, values []int64) {
 			spare := condexp.SpareWorkers(p.Workers(), len(seeds))
 			parallel.ForEach(p.Workers(), len(seeds), func(i int) {
@@ -240,9 +265,15 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 			Label:    "mis.seed",
 			MaxSeeds: p.MaxSeedsPerSearch,
 			Workers:  p.Workers(),
+			Done:     p.Done,
 		})
 		if err != nil {
 			panic(err)
+		}
+		if search.Canceled {
+			// search.Seed may be nil; abandon the round whole.
+			res.Canceled = true
+			break
 		}
 		st.SeedsTried = search.SeedsTried
 		st.SeedFound = search.Found
@@ -277,8 +308,22 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 			st.RemovedFraction = float64(st.EdgesBefore-st.EdgesAfter) / float64(st.EdgesBefore)
 		}
 		res.Iterations = append(res.Iterations, st)
+		p.Emit(core.RoundEvent{
+			Algorithm:  "mis",
+			Strategy:   "sparsify",
+			Round:      iter,
+			LiveNodes:  liveNodes,
+			LiveEdges:  st.EdgesBefore,
+			SeedsTried: st.SeedsTried,
+			SeedFound:  st.SeedFound,
+			Selected:   st.Selected,
+		})
 		sc.Reset()
 	}
+	// A cancellation break exits mid-round; the extra Reset (no-op on the
+	// normal path) keeps the "sc left Reset on return" contract so a pooled
+	// context survives a canceled solve without leaking slabs.
+	sc.Reset()
 
 	// Collect the isolated joins performed before the loop exited.
 	res.IndependentSet = res.IndependentSet[:0]

@@ -125,8 +125,14 @@ func SparsifyEdgesIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 	curG := graph.FromEdgesInto(n, cur, sc.Stage().Next())
 	dE0 := curG.DegreesInto(sc.Ints(n)) // d_{E0}(v), the invariant's reference degrees
 
-	for j := 1; j <= stages && len(cur) > 0; j++ {
+	// Stage boundaries are cancellation checkpoints: an abandoned request
+	// stops subsampling here and the (partial) result is discarded by the
+	// canceled outer round loop, so the early exit can never reach output.
+	for j := 1; j <= stages && len(cur) > 0 && !p.Canceled(); j++ {
 		report := runEdgeStage(sc, g, curG, cur, b, deg, dE0, dc, p, j, model)
+		if report.canceled {
+			break
+		}
 		res.Stages = append(res.Stages, report.StageReport)
 		cur = report.next
 		curG = report.nextG
@@ -149,6 +155,9 @@ type edgeStageOutcome struct {
 	StageReport
 	next  []graph.Edge
 	nextG *graph.Graph
+	// canceled marks a stage whose seed search was stopped by Params.Done;
+	// next/nextG are then unset and the caller abandons the stage chain.
+	canceled bool
 }
 
 // edgeGroup is one logical machine: a contiguous run of the flattened
@@ -271,10 +280,16 @@ func runEdgeStage(sc *scratch.Context, g, curG *graph.Graph, cur []graph.Edge, b
 		MaxSeeds:  p.MaxSeedsPerSearch,
 		Workers:   p.Workers(),
 		BatchSize: batchSize(model),
+		Done:      p.Done,
 	})
 	if err != nil {
 		// Only possible for an empty family, which cannot happen (p >= 2).
 		panic(err)
+	}
+	if res.Canceled {
+		// Abandoned mid-search: res.Seed may be nil (no batch evaluated), so
+		// there is nothing safe to apply — hand the cancellation up instead.
+		return edgeStageOutcome{canceled: true}
 	}
 
 	// Apply the selected seed: E_j = {e ∈ E_{j-1} : h(e) < th}, one sharded

@@ -23,12 +23,17 @@ import (
 // which is how internal/mis consumes it. The allocating SparsifyNodes
 // wrapper has no such constraint.
 type NodeResult struct {
-	ClassIndex   int
-	B            []bool // v ∈ B iff Σ_{u∈C_i∼v} 1/d(u) >= δ/3
-	BWeight      int64  // Σ_{v∈B} d(v) >= δ|E|/2 by Corollary 16
-	Deg          []int
-	Q0           []bool
-	Q            []bool       // Q' mask
+	ClassIndex int
+	B          []bool // v ∈ B iff Σ_{u∈C_i∼v} 1/d(u) >= δ/3
+	BWeight    int64  // Σ_{v∈B} d(v) >= δ|E|/2 by Corollary 16
+	Deg        []int
+	Q0         []bool
+	Q          []bool // Q' mask
+	// QList is Q as an ascending id list, built in the same pass that counts
+	// the final candidate set: callers that need the candidates as a list
+	// (core.NodeSel.InitList on the MIS path) take it directly instead of
+	// re-scanning the O(n) mask every round. len(QList) == CountMask(Q).
+	QList        []graph.NodeID
 	QGraph       *graph.Graph // induced subgraph on Q' (same node ids)
 	Stages       []StageReport
 	UsedFallback bool
@@ -106,8 +111,22 @@ func SparsifyNodesIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 	stages := core.StageCount(i)
 	cur := sc.Bools(n)
 	copy(cur, q0)
+	// Stage boundaries are cancellation checkpoints, as in SparsifyEdgesIn.
+	// A canceled chain returns immediately with only the pre-stage fields
+	// set (Q holds the current mask, QList/QGraph are unset): the outer MIS
+	// round re-checks Params.Done — monotone by contract — right after this
+	// call and discards the result, so there is no point paying the Q' list
+	// build or the induced-subgraph construction on the way out.
 	for j := 1; j <= stages && CountMask(cur) > 0; j++ {
-		report, next := runNodeStage(sc, g, cur, b, deg, dc, p, i, j, model)
+		if p.Canceled() {
+			res.Q = cur
+			return res
+		}
+		report, next, canceled := runNodeStage(sc, g, cur, b, deg, dc, p, i, j, model)
+		if canceled {
+			res.Q = cur
+			return res
+		}
 		res.Stages = append(res.Stages, report)
 		cur = next
 	}
@@ -116,7 +135,17 @@ func SparsifyNodesIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 		copy(cur, q0)
 		res.UsedFallback = true
 	}
+	// One pass builds the Q' list for both the normal and fallback masks —
+	// the round's candidates as data, so the MIS loop never re-scans the
+	// mask (core.NodeSel.InitList).
+	qlist := sc.NodeIDsCap(n)
+	for v := 0; v < n; v++ {
+		if cur[v] {
+			qlist = append(qlist, graph.NodeID(v))
+		}
+	}
 	res.Q = cur
+	res.QList = qlist
 	res.QGraph = g.InducedNodesInto(cur, workers, sc.Stage().Next())
 	return res
 }
@@ -134,7 +163,7 @@ func CountMask(mask []bool) int {
 }
 
 func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
-	dc *core.DegreeClasses, p core.Params, i, j int, model *simcost.Model) (StageReport, []bool) {
+	dc *core.DegreeClasses, p core.Params, i, j int, model *simcost.Model) (StageReport, []bool, bool) {
 
 	n := g.N()
 	gamma := dc.GroupSize()
@@ -261,9 +290,14 @@ func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
 		MaxSeeds:  p.MaxSeedsPerSearch,
 		Workers:   p.Workers(),
 		BatchSize: batchSize(model),
+		Done:      p.Done,
 	})
 	if err != nil {
 		panic(err)
+	}
+	if res.Canceled {
+		// res.Seed may be nil; abandon the stage, the caller discards.
+		return StageReport{}, nil, true
 	}
 
 	// Apply the selected seed: one EvalKeys pass over this stage's node
@@ -333,5 +367,5 @@ func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
 	}, mergeChecks))
 	report.InvariantI = invI
 	report.InvariantII = invII
-	return report, next
+	return report, next, false
 }
