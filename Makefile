@@ -21,7 +21,12 @@ BENCH_BASELINE ?= $(shell ls BENCH_2*.json 2>/dev/null | LC_ALL=C sort | tail -1
 # the warm-Engine reuse pairs.
 BENCH_WARN ?= BenchmarkT7_SeedSearch|BenchmarkT7_SelectionScan|BenchmarkEngineReuse
 
-.PHONY: build build-cmds test race race-engine bench bench-smoke bench-save bench-compare fmt fmt-check vet ci
+.PHONY: build build-cmds test race race-engine bench bench-smoke bench-save bench-compare serve-smoke fmt fmt-check vet ci
+
+# serve-smoke knobs: where detservd listens and where loadgen writes its
+# latency quantiles (archived as a CI artifact next to $(BENCH_OUT)).
+SERVE_ADDR ?= 127.0.0.1:17317
+LOADGEN_OUT ?= LOADGEN_results.json
 
 build:
 	$(GO) build ./...
@@ -54,9 +59,12 @@ race:
 # REUSED engine (dirty scratch buffers, pooled contexts) under the race
 # detector. Part of `make race` too; this target mirrors the dedicated CI
 # job so an engine-reuse, equivalence or cancellation regression is
-# attributable at a glance.
+# attributable at a glance. The serve package rides along: its tests
+# byte-compare served responses against direct Engine solves under
+# concurrent mixed load, which is the same contract one layer up.
 race-engine:
-	$(GO) test -race -timeout 30m -run 'TestEngineReuseWorkerCountIndependence|TestEngineConcurrentSolves|TestHashKernelMatchesScalarPath|TestLowDegObjectiveKernelVsScalar|TestEvalKeysShardedMatchesSerial|TestEngineCancellationWorkerCountTable|TestEngineCancellationMidSolve|TestSolveOptionOverrideEquivalence|TestObserverDeterministicAcrossParallelism' .
+	$(GO) test -race -timeout 30m -run 'TestEngineReuseWorkerCountIndependence|TestEngineConcurrentSolves|TestHashKernelMatchesScalarPath|TestLowDegObjectiveKernelVsScalar|TestEvalKeysShardedMatchesSerial|TestEngineCancellationWorkerCountTable|TestEngineCancellationMidSolve|TestSolveOptionOverrideEquivalence|TestObserverDeterministicAcrossParallelism|TestObserverSeedBatchEvents|TestPreparedSolveEquivalence' .
+	$(GO) test -race -timeout 30m ./internal/serve/
 
 # Full benchmark run (minutes); BENCH_PATTERN narrows it.
 bench:
@@ -85,6 +93,24 @@ bench-save:
 	fi
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_$(BENCH_DATE).json
 
+# End-to-end serving smoke: build detservd and loadgen, start the server,
+# drive a short mixed matching/MIS run at two concurrency levels, and write
+# $(LOADGEN_OUT) in the benchjson schema (diffable via
+# `go run ./cmd/benchjson -input $(LOADGEN_OUT) -compare <old>`). The server
+# is always torn down, and the loadgen exit status (nonzero when any
+# (problem, concurrency) cell had zero successes) is propagated. Binaries
+# are built inside the repo and removed afterwards.
+serve-smoke:
+	$(GO) build -o .tmp-detservd ./cmd/detservd
+	$(GO) build -o .tmp-loadgen ./cmd/loadgen
+	@./.tmp-detservd -addr $(SERVE_ADDR) -engines 2 & echo $$! > .tmp-detservd.pid; \
+	./.tmp-loadgen -addr http://$(SERVE_ADDR) -wait 30s \
+		-requests 24 -concurrency 1,4 -n 1024 -graphs 2 -out $(LOADGEN_OUT); \
+	status=$$?; \
+	kill $$(cat .tmp-detservd.pid) 2>/dev/null; \
+	rm -f .tmp-detservd .tmp-loadgen .tmp-detservd.pid; \
+	exit $$status
+
 # Diff a bench-smoke result ($(BENCH_OUT)) against the committed baseline,
 # warning — never failing — on >20% ns/op regressions in $(BENCH_WARN).
 # Run `make bench-smoke` (or CI's bench-smoke job) first.
@@ -101,4 +127,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build build-cmds vet fmt-check race race-engine bench-smoke
+ci: build build-cmds vet fmt-check race race-engine bench-smoke serve-smoke

@@ -180,6 +180,18 @@ var (
 	// error also wraps the context's cause, so errors.Is(err,
 	// context.Canceled) (or context.DeadlineExceeded) reports why.
 	ErrCanceled = errors.New("repro: solve canceled")
+	// ErrDeadlineExceeded marks a solve abandoned because its deadline
+	// expired. It is a refinement of ErrCanceled, never a sibling: every
+	// error matching ErrDeadlineExceeded also matches ErrCanceled and
+	// context.DeadlineExceeded under errors.Is, so existing ErrCanceled
+	// handling keeps working and servers can still map timeouts separately
+	// (504 vs 499 in internal/serve).
+	ErrDeadlineExceeded = errors.New("repro: solve deadline exceeded")
+	// ErrOverloaded marks a request rejected by admission control before any
+	// solve work started: the serving layer's bounded queue was full. It is
+	// disjoint from ErrCanceled — an overloaded request never touched an
+	// Engine — and maps to HTTP 429 in internal/serve.
+	ErrOverloaded = errors.New("repro: server overloaded")
 	// ErrUnknownStrategy marks an Options.Strategy (or WithStrategy value)
 	// that names none of the defined strategies; errors.As with
 	// *UnknownStrategyError recovers the offending value.
@@ -219,7 +231,9 @@ func (e *NotMaximalError) Is(target error) bool { return target == ErrNotMaximal
 
 // canceledError wraps both ErrCanceled and the context's cause, so callers
 // can branch on errors.Is(err, ErrCanceled) as well as on the underlying
-// context.Canceled / context.DeadlineExceeded.
+// context.Canceled / context.DeadlineExceeded. Deadline-driven
+// cancellations additionally wrap ErrDeadlineExceeded, keeping the taxonomy
+// a refinement chain: ErrDeadlineExceeded ⊂ ErrCanceled.
 func canceledError(ctx context.Context) error {
 	cause := context.Cause(ctx)
 	if cause == nil {
@@ -228,12 +242,23 @@ func canceledError(ctx context.Context) error {
 		// custom contexts); fall back to the generic cause.
 		cause = context.Canceled
 	}
+	if errors.Is(cause, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w: %w", ErrCanceled, ErrDeadlineExceeded, cause)
+	}
 	return fmt.Errorf("%w: %w", ErrCanceled, cause)
 }
 
 // RoundEvent is the per-round telemetry record delivered to an Observer; see
-// core.RoundEvent for the field semantics.
+// core.RoundEvent for the field semantics. Observed solves additionally
+// carry the round's seed-batch sub-events (RoundEvent.Batches) and the
+// incremental simcost counters (CostRounds, CostSeedBatches,
+// CostPeakMachineWords); unobserved solves never compute either.
 type RoundEvent = core.RoundEvent
+
+// SeedBatchStat is one charged seed batch of a round's conditional-
+// expectations search, carried by RoundEvent.Batches in evaluation order;
+// see core.SeedBatchStat for the field semantics.
+type SeedBatchStat = core.SeedBatchStat
 
 // Observer receives one OnRound call per completed round of a solve it is
 // attached to (WithObserver). Delivery is synchronous from the solve's
@@ -323,6 +348,11 @@ func WithObserver(o Observer) SolveOption {
 type Engine struct {
 	opts Options
 	pool sync.Pool
+
+	// Prepared-graph cache (Engine.Prepare): content fingerprint → shared
+	// handle. Lazily built under mu so the zero-value Engine stays valid.
+	mu       sync.Mutex
+	prepared map[Fingerprint]*PreparedGraph
 }
 
 // NewEngine returns an Engine solving with the given options (nil means

@@ -1,0 +1,294 @@
+// Command loadgen drives a running detservd with mixed maximal-matching /
+// MIS traffic at one or more concurrency levels and writes per-problem
+// p50/p99 latency quantiles as JSON in the same schema cmd/benchjson
+// emits, so the serving latency history can be archived and diffed next
+// to the BENCH_*.json files with `benchjson -input ... -compare ...`.
+//
+// Graphs are uploaded once and then solved by content fingerprint, which
+// exercises the server's prepared-graph dedup path the way a steady-state
+// client would.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:7317 -wait 10s \
+//	        -requests 64 -concurrency 1,4 -mix 0.5 \
+//	        -family gnm -n 2048 -deg 8 -graphs 3 -out LOADGEN_results.json
+//
+// Result names follow Loadgen<Problem>_c<concurrency>_p<quantile>, e.g.
+// LoadgenMatching_c4_p99. ns_per_op carries the latency quantile in
+// nanoseconds and iterations the sample count; rejected (429) and failed
+// requests are counted in the metrics map and excluded from quantiles.
+// The run exits nonzero if any level finishes without a single success.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+// result mirrors cmd/benchjson.Result so the output file is directly
+// consumable by `benchjson -input` / `-compare` (the schema is duplicated
+// rather than imported: both are package main).
+type result struct {
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	HasMem      bool               `json:"has_mem"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:7317", "detservd base URL")
+		wait     = flag.Duration("wait", 0, "poll /healthz for this long before starting (0 = assume up)")
+		requests = flag.Int("requests", 64, "requests per concurrency level")
+		conc     = flag.String("concurrency", "1,4", "comma-separated concurrency levels")
+		mix      = flag.Float64("mix", 0.5, "fraction of requests that are matching (rest are MIS)")
+		family   = flag.String("family", "gnm", "workload family for the uploaded graphs")
+		n        = flag.Int("n", 2048, "nodes per graph")
+		deg      = flag.Int("deg", 8, "average degree")
+		graphs   = flag.Int("graphs", 3, "distinct graphs to upload and cycle through")
+		timeout  = flag.Duration("timeout", 0, "per-request timeout_ms sent to the server (0 = none)")
+		out      = flag.String("out", "", "output JSON file (default stdout)")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+
+	levels, err := parseLevels(*conc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *wait > 0 {
+		if err := waitHealthy(*addr, *wait); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Upload the workload once; all traffic then solves by fingerprint.
+	fps := make([]string, 0, *graphs)
+	for i := 0; i < *graphs; i++ {
+		g, err := repro.Generate(*family, *n, *deg, uint64(i+1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		u := &serve.GraphUpload{N: g.N()}
+		for _, e := range g.Edges() {
+			u.Edges = append(u.Edges, [2]int32{int32(e.U), int32(e.V)})
+		}
+		var ur serve.UploadResponse
+		if err := post(*addr+"/v1/graphs", u, &ur); err != nil {
+			log.Fatalf("upload graph %d: %v", i, err)
+		}
+		fps = append(fps, ur.Fingerprint)
+	}
+	log.Printf("uploaded %d %s graphs (n=%d deg=%d)", len(fps), *family, *n, *deg)
+
+	var results []result
+	failedLevels := 0
+	for _, c := range levels {
+		lr := runLevel(*addr, fps, *requests, c, *mix, *timeout)
+		for _, p := range []string{serve.ProblemMatching, serve.ProblemMIS} {
+			s := lr[p]
+			if s == nil {
+				continue
+			}
+			if len(s.latencies) == 0 {
+				log.Printf("level c=%d %s: no successful requests (%d rejected, %d failed)",
+					c, p, s.rejected, s.failed)
+				failedLevels++
+				continue
+			}
+			results = append(results, s.quantiles(p, c)...)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		log.Fatal(err)
+	}
+	if failedLevels > 0 {
+		log.Fatalf("%d (problem, concurrency) cells had zero successes", failedLevels)
+	}
+}
+
+func parseLevels(s string) ([]int, error) {
+	var levels []int
+	for _, part := range strings.Split(s, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("bad concurrency level %q", part)
+		}
+		levels = append(levels, c)
+	}
+	return levels, nil
+}
+
+func waitHealthy(addr string, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		resp, err := http.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %s", addr, d)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func post(url string, body, into any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &statusError{code: resp.StatusCode, body: string(data)}
+	}
+	if into != nil {
+		return json.Unmarshal(data, into)
+	}
+	return nil
+}
+
+type statusError struct {
+	code int
+	body string
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("status %d: %s", e.code, e.body) }
+
+// sample accumulates one (problem, concurrency) cell.
+type sample struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	rejected  int
+	failed    int
+}
+
+func (s *sample) add(d time.Duration, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	se, isStatus := err.(*statusError)
+	switch {
+	case err == nil:
+		s.latencies = append(s.latencies, d)
+	case isStatus && se.code == http.StatusTooManyRequests:
+		s.rejected++
+	default:
+		s.failed++
+	}
+}
+
+func (s *sample) quantiles(problem string, c int) []result {
+	sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
+	title := strings.ToUpper(problem[:1]) + problem[1:]
+	if problem == serve.ProblemMIS {
+		title = "MIS"
+	}
+	metrics := map[string]float64{
+		"rejected": float64(s.rejected),
+		"failed":   float64(s.failed),
+	}
+	var out []result
+	for _, q := range []struct {
+		label string
+		f     float64
+	}{{"p50", 0.50}, {"p99", 0.99}} {
+		idx := int(math.Ceil(q.f*float64(len(s.latencies)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out = append(out, result{
+			Name:       fmt.Sprintf("Loadgen%s_c%d_%s", title, c, q.label),
+			Procs:      1,
+			Iterations: int64(len(s.latencies)),
+			NsPerOp:    float64(s.latencies[idx].Nanoseconds()),
+			HasMem:     true, // schema column present; loadgen measures latency only
+			Metrics:    metrics,
+		})
+	}
+	return out
+}
+
+// runLevel fires `requests` solves at concurrency c and buckets latencies
+// by problem.
+func runLevel(addr string, fps []string, requests, c int, mix float64, timeout time.Duration) map[string]*sample {
+	samples := map[string]*sample{
+		serve.ProblemMatching: {},
+		serve.ProblemMIS:      {},
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				problem := serve.ProblemMIS
+				// Deterministic interleave approximating the mix fraction.
+				if float64(i%requests) < mix*float64(requests) {
+					problem = serve.ProblemMatching
+				}
+				req := &serve.SolveRequest{
+					Problem:     problem,
+					Fingerprint: fps[i%len(fps)],
+				}
+				if timeout > 0 {
+					req.TimeoutMS = timeout.Milliseconds()
+				}
+				start := time.Now()
+				err := post(addr+"/v1/solve", req, nil)
+				samples[problem].add(time.Since(start), err)
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	log.Printf("level c=%d done (%d requests)", c, requests)
+	return samples
+}

@@ -121,20 +121,87 @@
 // Parallelism level and demand reference-identical bits from the very next
 // solve.
 //
-// Errors are structured: ErrNilGraph, ErrCanceled, ErrUnknownStrategy and
-// ErrNotMaximal are errors.Is sentinels, with *UnknownStrategyError and
-// *NotMaximalError carrying the offending strategy and the verifier's
-// reason through errors.As.
+// # Error taxonomy
+//
+// Every error the package returns matches one of a small set of errors.Is
+// sentinels, arranged so a server can switch on the coarse class and
+// refine when it cares:
+//
+//   - ErrNilGraph, ErrUnknownStrategy — request construction errors,
+//     reported before any solving starts. *UnknownStrategyError carries
+//     the offending strategy through errors.As.
+//   - ErrCanceled — the solve was abandoned at a round or seed-batch
+//     boundary because its context ended. The chain also matches the
+//     context's cause (context.Canceled or context.DeadlineExceeded).
+//   - ErrDeadlineExceeded — a refinement of ErrCanceled: the context ended
+//     specifically because its deadline expired. Every error matching
+//     ErrDeadlineExceeded also matches ErrCanceled (and
+//     context.DeadlineExceeded), so existing errors.Is(err, ErrCanceled)
+//     handling keeps working; handlers that distinguish timeouts from
+//     client disconnects test the finer sentinel first.
+//   - ErrOverloaded — a disjoint sibling: admission control rejected the
+//     request before any engine was involved. The Engine itself never
+//     returns it; it exists for serving layers (internal/serve maps it to
+//     HTTP 429) so clients can tell "shed load, retry later" from "your
+//     solve was cut short".
+//   - ErrNotMaximal — the self-check verifier rejected an output;
+//     *NotMaximalError carries the reason through errors.As.
 //
 // The observer (WithObserver) is the telemetry seam: one RoundEvent per
 // derandomization round — algorithm, strategy, live nodes/edges at round
 // start, seeds evaluated, selection size — delivered synchronously from the
-// solve's coordinating goroutine. The stream is deterministic: host
-// parallelism lives inside a round, never across rounds, so events arrive
-// in round order with identical contents at every Parallelism setting
-// (TestObserverDeterministicAcrossParallelism pins the full stream at 1, 2
-// and 8 workers). Observation never changes results; its only cost is a
-// live-node count per observed round.
+// solve's coordinating goroutine. Each event also carries seed-batch
+// granularity (RoundEvent.Batches, one SeedBatchStat per charged batch of
+// the round's conditional-expectations search) and the cumulative MPC cost
+// counters at emission time (CostRounds, CostSeedBatches,
+// CostPeakMachineWords), so a streaming consumer watches the simulated
+// cost meter tick without waiting for the final CostReport. The stream is
+// deterministic: host parallelism lives inside a round, never across
+// rounds, and seed batches are charged in enumeration order regardless of
+// worker count, so events arrive in round order with identical contents at
+// every Parallelism setting (TestObserverDeterministicAcrossParallelism
+// pins the full stream — sub-events included — at 1, 2 and 8 workers).
+// Observation never changes results, and unobserved solves pay nothing:
+// the per-batch stats and cost snapshots are only materialized when an
+// observer is installed, which is what keeps the warm-engine allocation
+// budgets flat.
+//
+// # Prepared graphs
+//
+// (*Engine).Prepare parses and fingerprints a graph once, returning a
+// *PreparedGraph handle that subsequent solves name instead of re-sending
+// the graph:
+//
+//	pg, _ := eng.Prepare(g)            // content-addressed: FNV-1a over the canonical CSR
+//	res, _ := pg.MaximalMatchingCtx(ctx, repro.WithStrategy(repro.StrategySparsify))
+//
+// Preparation is content-addressed dedup, not a different code path: two
+// uploads of the same graph — any edge order, duplicates and self-loops
+// dropped — fingerprint identically and share one parsed CSR (a
+// fingerprint hit is verified structurally before sharing, so a true
+// 64-bit collision degrades to a private handle, never a wrong graph), and
+// a prepared solve is bit-identical to the engine's Ctx entry points on
+// the raw graph (TestPreparedSolveEquivalence pins this per strategy ×
+// family). FingerprintOf/ParseFingerprint expose the wire form;
+// Prepared/DropPrepared/PreparedCount manage the per-engine cache.
+//
+// # Serving
+//
+// internal/serve and cmd/detservd lift the Engine into a long-running
+// HTTP/JSON service: a pool of warm engines multiplexing mixed
+// matching/MIS traffic, with admission control (bounded queue; a full
+// queue rejects immediately with ErrOverloaded / HTTP 429 instead of
+// queueing without bound), per-request deadlines that cover queue wait and
+// map onto the round/seed-batch cancellation boundaries (expired requests
+// match ErrDeadlineExceeded, get HTTP 504, and leave their engine warm),
+// content-addressed graph upload backed by Engine.Prepare (repeat traffic
+// for a graph routes to the same warm engine and shares one CSR), and
+// optional NDJSON streaming of the deterministic per-round observer events.
+// The serving layer adds no solving code of its own — a served response is
+// byte-identical to a direct Engine solve with the same graph and options,
+// which the internal/serve tests enforce under concurrent mixed load.
+// cmd/loadgen drives a running server at varying concurrency and archives
+// p50/p99 latency quantiles in the cmd/benchjson schema (make serve-smoke).
 //
 // Everything the algorithms rely on is implemented in this module under
 // internal/: the MPC cluster simulator with Lemma 4's constant-round

@@ -73,6 +73,31 @@ type Options struct {
 	// bit-identical to Done == nil; this is the request-cancellation seam of
 	// the round loops (core.Params.Done threads through here).
 	Done func() bool
+	// OnBatch, when non-nil, receives one BatchStat per charged batch
+	// evaluation, synchronously from the search's coordinating goroutine and
+	// in enumeration order — batches are flushed serially regardless of
+	// Workers, so the stat stream is bit-identical at any worker count. It
+	// is pure observation: the scan's selection rule, charges and results
+	// are unchanged, and a nil OnBatch costs nothing. This is the
+	// seed-batch-granular seam the observer API (core.RoundEvent.Batches)
+	// threads through.
+	OnBatch func(BatchStat)
+}
+
+// BatchStat describes one charged batch of a seed search, as delivered to
+// Options.OnBatch immediately after the batch evaluated.
+type BatchStat struct {
+	// Batch is the 1-based index of the batch within this search.
+	Batch int
+	// Seeds is the number of candidate seeds the batch evaluated.
+	Seeds int
+	// SeedsTried is the cumulative candidate count including this batch.
+	SeedsTried int
+	// BestValue is the best objective value seen so far in the scan.
+	BestValue int64
+	// Found reports that this batch contained the first qualifying seed,
+	// ending the search.
+	Found bool
 }
 
 // DefaultMaxSeeds bounds seed scans when Options.MaxSeeds is 0. The theory
@@ -173,8 +198,23 @@ func SearchAtLeastBatch(fam hashfam.Family, obj BatchObjective, threshold int64,
 				best.Value = v
 				best.Seed = append(best.Seed[:0], seed...)
 				best.Found = true
-				return true
+				break
 			}
+		}
+		if opts.OnBatch != nil {
+			// tried already counts this batch's seeds; all of them evaluated
+			// even when the qualifying seed sits mid-batch (one AllReduce per
+			// batch), so the cumulative count is exact.
+			opts.OnBatch(BatchStat{
+				Batch:      best.Batches,
+				Seeds:      len(batch),
+				SeedsTried: tried,
+				BestValue:  best.Value,
+				Found:      best.Found,
+			})
+		}
+		if best.Found {
+			return true
 		}
 		batch = batch[:0]
 		return false

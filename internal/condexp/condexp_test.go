@@ -302,3 +302,94 @@ func TestSearchAtLeastDoneStopsAtBatchBoundary(t *testing.T) {
 		}
 	}
 }
+
+// TestOnBatchStats pins the seed-batch observation seam: one BatchStat per
+// charged batch, in enumeration order, with exact cumulative counts, a
+// best-value trajectory matching the scan, and the Found flag on the final
+// batch exactly when the search succeeded. The stream must not perturb the
+// search result and must be identical at any worker count.
+func TestOnBatchStats(t *testing.T) {
+	fam := hashfam.New(101, 2)
+	points := testPoints(40, fam.P())
+	obj := countBelow(fam, points, hashfam.Threshold(fam.P(), 1, 2))
+
+	var plain Result
+	{
+		res, err := SearchAtLeast(fam, obj, 19, Options{BatchSize: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain = res
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		var stats []BatchStat
+		res, err := SearchAtLeast(fam, obj, 19, Options{
+			BatchSize: 16,
+			Workers:   workers,
+			OnBatch:   func(bs BatchStat) { stats = append(stats, bs) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Value != plain.Value || res.Found != plain.Found || res.SeedsTried != plain.SeedsTried {
+			t.Fatalf("workers=%d: observation changed the result: %+v vs %+v", workers, res, plain)
+		}
+		if len(stats) != res.Batches {
+			t.Fatalf("workers=%d: %d stats for %d charged batches", workers, len(stats), res.Batches)
+		}
+		sum := 0
+		best := int64(-1 << 62)
+		for i, bs := range stats {
+			if bs.Batch != i+1 {
+				t.Fatalf("workers=%d: stat %d has Batch %d", workers, i, bs.Batch)
+			}
+			sum += bs.Seeds
+			if bs.SeedsTried != sum {
+				t.Fatalf("workers=%d: stat %d cumulative %d, want %d", workers, i, bs.SeedsTried, sum)
+			}
+			if bs.BestValue < best {
+				t.Fatalf("workers=%d: best value regressed at batch %d: %d < %d", workers, i+1, bs.BestValue, best)
+			}
+			best = bs.BestValue
+			if bs.Found != (i == len(stats)-1 && res.Found) {
+				t.Fatalf("workers=%d: Found misplaced at batch %d", workers, i+1)
+			}
+		}
+		if sum != res.SeedsTried {
+			t.Fatalf("workers=%d: stats cover %d seeds, result says %d", workers, sum, res.SeedsTried)
+		}
+		if last := stats[len(stats)-1]; last.BestValue != res.Value {
+			t.Fatalf("workers=%d: final best %d, result value %d", workers, last.BestValue, res.Value)
+		}
+	}
+}
+
+// TestOnBatchModelAgreement cross-checks the stat stream against the cost
+// model: charged seed batches and evaluated seeds must match exactly.
+func TestOnBatchModelAgreement(t *testing.T) {
+	fam := hashfam.New(211, 2)
+	points := testPoints(64, fam.P())
+	obj := countBelow(fam, points, hashfam.Threshold(fam.P(), 1, 3))
+	model := simcost.New(64, 128, 0.5)
+	var stats []BatchStat
+	res, err := SearchAtLeast(fam, obj, 1<<40, Options{ // unreachable: full scan
+		BatchSize: 8,
+		MaxSeeds:  64,
+		Model:     model,
+		OnBatch:   func(bs BatchStat) { stats = append(stats, bs) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("threshold 2^40 cannot be met")
+	}
+	st := model.Stats()
+	if st.SeedBatches != len(stats) || st.SeedBatches != res.Batches {
+		t.Fatalf("model charged %d batches, %d stats, result %d", st.SeedBatches, len(stats), res.Batches)
+	}
+	if int(st.SeedsEvaluated) != res.SeedsTried {
+		t.Fatalf("model evaluated %d seeds, result tried %d", st.SeedsEvaluated, res.SeedsTried)
+	}
+}

@@ -100,6 +100,42 @@ type RoundEvent struct {
 	SeedsTried int
 	SeedFound  bool
 	Selected   int
+	// Batches, only on observed solves, breaks the round's selection search
+	// down into its charged seed batches, in evaluation (enumeration)
+	// order: the seed-batch-granular sub-events of the observer seam. It is
+	// nil when no observer is attached — unobserved solves never build it —
+	// and empty when the round ran no search batch. The stage searches
+	// inside the sparsification chain are not included; the batches sum to
+	// SeedsTried above. Each event owns its slice (never reused across
+	// rounds), so observers may retain it.
+	Batches []SeedBatchStat
+	// CostRounds, CostSeedBatches and CostPeakMachineWords export the
+	// solve's simcost accounting incrementally: the cumulative charged MPC
+	// rounds, charged seed batches and peak per-machine words at the moment
+	// this event was emitted. They are zero when cost tracking is off or no
+	// observer is attached, and — like every other field — deterministic at
+	// any Parallelism: the model's charges depend only on problem sizes and
+	// batch shapes, never on host scheduling.
+	CostRounds           int
+	CostSeedBatches      int
+	CostPeakMachineWords int
+}
+
+// SeedBatchStat is one charged seed batch of a round's conditional-
+// expectations search, carried by RoundEvent.Batches. Its fields mirror
+// condexp.BatchStat exactly (the round loops convert directly between the
+// two).
+type SeedBatchStat struct {
+	// Batch is the 1-based batch index within the round's search.
+	Batch int
+	// Seeds is the number of candidate seeds the batch evaluated.
+	Seeds int
+	// SeedsTried is the cumulative candidate count including this batch.
+	SeedsTried int
+	// BestValue is the best objective value seen so far in the search.
+	BestValue int64
+	// Found reports that the batch contained the first qualifying seed.
+	Found bool
 }
 
 // Canceled reports whether the solve's request has been abandoned. It is the

@@ -1,0 +1,55 @@
+package graph
+
+import "testing"
+
+// TestFingerprintCanonical pins the content-addressing contract: the
+// fingerprint depends on the canonical structure only, so the same edge set
+// in any insertion order (and with duplicates or self loops mixed in)
+// hashes equal, while any structural change hashes differently.
+func TestFingerprintCanonical(t *testing.T) {
+	edges := []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 3}, {1, 3}}
+	g := FromEdges(5, edges)
+
+	reordered := FromEdges(5, []Edge{{1, 3}, {0, 3}, {2, 3}, {0, 1}, {1, 2}})
+	noisy := FromEdges(5, append([]Edge{{2, 2}, {1, 2}, {2, 1}}, edges...))
+	if g.Fingerprint() != reordered.Fingerprint() {
+		t.Fatal("edge order changed the fingerprint")
+	}
+	if g.Fingerprint() != noisy.Fingerprint() {
+		t.Fatal("dropped duplicates/self-loops changed the fingerprint")
+	}
+	if !g.Same(reordered) || !g.Same(noisy) {
+		t.Fatal("Same disagrees with canonical equality")
+	}
+
+	// Structural changes must be visible.
+	moreNodes := FromEdges(6, edges)
+	fewerEdges := FromEdges(5, edges[:4])
+	other := FromEdges(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 3}, {2, 4}})
+	for name, h := range map[string]*Graph{"extra node": moreNodes, "missing edge": fewerEdges, "swapped edge": other} {
+		if g.Fingerprint() == h.Fingerprint() {
+			t.Errorf("%s: fingerprint collision", name)
+		}
+		if g.Same(h) {
+			t.Errorf("%s: Same true for different graphs", name)
+		}
+	}
+}
+
+// TestFingerprintEmptyGraphs: every representation of the empty graph (nil,
+// zero value, built with zero nodes) fingerprints alike and Same agrees.
+func TestFingerprintEmptyGraphs(t *testing.T) {
+	var nilG *Graph
+	zero := &Graph{}
+	built := FromEdges(0, nil)
+	if nilG.Fingerprint() != zero.Fingerprint() || zero.Fingerprint() != built.Fingerprint() {
+		t.Fatal("empty-graph representations fingerprint differently")
+	}
+	if !nilG.Same(zero) || !zero.Same(built) || !built.Same(nilG) {
+		t.Fatal("empty-graph representations are not Same")
+	}
+	one := FromEdges(1, nil)
+	if one.Fingerprint() == zero.Fingerprint() || one.Same(zero) {
+		t.Fatal("one-node graph conflated with empty graph")
+	}
+}

@@ -58,6 +58,63 @@ func (g *Graph) N() int {
 // M returns the number of undirected edges.
 func (g *Graph) M() int { return g.m }
 
+// Fingerprint returns a 64-bit content hash of the graph: FNV-1a over the
+// node count and the CSR arrays, which together determine the graph exactly
+// (builders canonicalise edge lists — sorted adjacency, no duplicates or
+// self loops — so structurally equal graphs hash equal regardless of input
+// edge order). Two graphs with equal fingerprints are almost certainly
+// identical; callers that must rule out the 2^-64 collision confirm with
+// Same. Cost is one O(n+m) pass; a nil graph hashes like the empty graph.
+func (g *Graph) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint32) {
+		h = (h ^ uint64(x&0xff)) * prime64
+		h = (h ^ uint64((x>>8)&0xff)) * prime64
+		h = (h ^ uint64((x>>16)&0xff)) * prime64
+		h = (h ^ uint64(x>>24)) * prime64
+	}
+	mix(uint32(g.N()))
+	if g.N() == 0 {
+		// All empty-graph representations (nil, zero value, built) hash
+		// alike, mirroring Same.
+		return h
+	}
+	for _, o := range g.offsets {
+		mix(uint32(o))
+	}
+	for _, v := range g.adj {
+		mix(uint32(v))
+	}
+	return h
+}
+
+// Same reports whether g and h are structurally identical graphs (same node
+// count, same canonical adjacency). It is the exact companion of
+// Fingerprint: Same(h) implies equal fingerprints, and fingerprint-equal
+// graphs are verified with Same where collisions matter.
+func (g *Graph) Same(h *Graph) bool {
+	gm, hm := 0, 0
+	if g != nil {
+		gm = g.m
+	}
+	if h != nil {
+		hm = h.m
+	}
+	if g.N() != h.N() || gm != hm {
+		return false
+	}
+	if g.N() == 0 {
+		// Every zero-node graph (nil, the zero value, FromEdges(0, ...)) is
+		// the same empty graph regardless of representation.
+		return true
+	}
+	return slices.Equal(g.offsets, h.offsets) && slices.Equal(g.adj, h.adj)
+}
+
 // Degree returns the degree of v.
 func (g *Graph) Degree(v NodeID) int {
 	return int(g.offsets[v+1] - g.offsets[v])

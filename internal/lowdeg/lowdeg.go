@@ -326,13 +326,22 @@ loop:
 			if threshold < 1 {
 				threshold = 1
 			}
-			search, err := condexp.SearchAtLeastBatch(fam, objective, threshold, condexp.Options{
+			copts := condexp.Options{
 				Model:    model,
 				Label:    "lowdeg.seed",
 				MaxSeeds: p.MaxSeedsPerSearch,
 				Workers:  p.Workers(),
 				Done:     p.Done,
-			})
+			}
+			// Seed-batch sub-events are observer-only work (see the
+			// matching loop): fresh slice per phase, nothing unobserved.
+			var batchStats []core.SeedBatchStat
+			if p.Observe != nil {
+				copts.OnBatch = func(bs condexp.BatchStat) {
+					batchStats = append(batchStats, core.SeedBatchStat(bs))
+				}
+			}
+			search, err := condexp.SearchAtLeastBatch(fam, objective, threshold, copts)
 			if err != nil {
 				panic(err)
 			}
@@ -370,16 +379,23 @@ loop:
 			res.Phases = append(res.Phases, st)
 			res.RoundsExecuted += 3 // evaluate + aggregate + apply
 			round++
-			p.Emit(core.RoundEvent{
-				Algorithm:  "mis",
-				Strategy:   "lowdeg",
-				Round:      round,
-				LiveNodes:  len(sel.Live()), // the phase-start live set
-				LiveEdges:  st.EdgesBefore,
-				SeedsTried: st.SeedsTried,
-				SeedFound:  st.SeedFound,
-				Selected:   st.Selected,
-			})
+			if p.Observe != nil {
+				cs := model.Stats()
+				p.Observe(core.RoundEvent{
+					Algorithm:            "mis",
+					Strategy:             "lowdeg",
+					Round:                round,
+					LiveNodes:            len(sel.Live()), // the phase-start live set
+					LiveEdges:            st.EdgesBefore,
+					SeedsTried:           st.SeedsTried,
+					SeedFound:            st.SeedFound,
+					Selected:             st.Selected,
+					Batches:              batchStats,
+					CostRounds:           cs.Rounds,
+					CostSeedBatches:      cs.SeedBatches,
+					CostPeakMachineWords: cs.PeakMachineWords,
+				})
+			}
 			sc.Reset()
 		}
 		// Maintain r-hop neighbourhoods for the next stage (§5.2.2, one

@@ -199,13 +199,23 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 		if st.Threshold < 1 {
 			st.Threshold = 1
 		}
-		search, err := condexp.SearchAtLeastBatch(fam, objective, st.Threshold, condexp.Options{
+		copts := condexp.Options{
 			Model:    model,
 			Label:    "mm.seed",
 			MaxSeeds: p.MaxSeedsPerSearch,
 			Workers:  p.Workers(),
 			Done:     p.Done,
-		})
+		}
+		// Seed-batch sub-events are observer-only work: the slice is fresh
+		// per round (events own their Batches; observers may retain them)
+		// and unobserved solves never allocate it.
+		var batchStats []core.SeedBatchStat
+		if p.Observe != nil {
+			copts.OnBatch = func(bs condexp.BatchStat) {
+				batchStats = append(batchStats, core.SeedBatchStat(bs))
+			}
+		}
+		search, err := condexp.SearchAtLeastBatch(fam, objective, st.Threshold, copts)
 		if err != nil {
 			panic(err) // family is never empty
 		}
@@ -240,16 +250,23 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 		st.EdgesAfter = cur.M()
 		st.RemovedFraction = float64(st.EdgesBefore-st.EdgesAfter) / float64(st.EdgesBefore)
 		res.Iterations = append(res.Iterations, st)
-		p.Emit(core.RoundEvent{
-			Algorithm:  "matching",
-			Strategy:   "sparsify",
-			Round:      iter,
-			LiveNodes:  liveNodes,
-			LiveEdges:  st.EdgesBefore,
-			SeedsTried: st.SeedsTried,
-			SeedFound:  st.SeedFound,
-			Selected:   st.MatchedEdges,
-		})
+		if p.Observe != nil {
+			cs := model.Stats()
+			p.Observe(core.RoundEvent{
+				Algorithm:            "matching",
+				Strategy:             "sparsify",
+				Round:                iter,
+				LiveNodes:            liveNodes,
+				LiveEdges:            st.EdgesBefore,
+				SeedsTried:           st.SeedsTried,
+				SeedFound:            st.SeedFound,
+				Selected:             st.MatchedEdges,
+				Batches:              batchStats,
+				CostRounds:           cs.Rounds,
+				CostSeedBatches:      cs.SeedBatches,
+				CostPeakMachineWords: cs.PeakMachineWords,
+			})
+		}
 		sc.Reset()
 	}
 	// A cancellation break exits mid-round with live slab checkouts; the

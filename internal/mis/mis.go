@@ -260,13 +260,22 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 		if st.Threshold < 1 {
 			st.Threshold = 1
 		}
-		search, err := condexp.SearchAtLeastBatch(fam, objective, st.Threshold, condexp.Options{
+		copts := condexp.Options{
 			Model:    model,
 			Label:    "mis.seed",
 			MaxSeeds: p.MaxSeedsPerSearch,
 			Workers:  p.Workers(),
 			Done:     p.Done,
-		})
+		}
+		// Seed-batch sub-events are observer-only work (see the matching
+		// loop): fresh slice per round, nothing allocated unobserved.
+		var batchStats []core.SeedBatchStat
+		if p.Observe != nil {
+			copts.OnBatch = func(bs condexp.BatchStat) {
+				batchStats = append(batchStats, core.SeedBatchStat(bs))
+			}
+		}
+		search, err := condexp.SearchAtLeastBatch(fam, objective, st.Threshold, copts)
 		if err != nil {
 			panic(err)
 		}
@@ -308,16 +317,23 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 			st.RemovedFraction = float64(st.EdgesBefore-st.EdgesAfter) / float64(st.EdgesBefore)
 		}
 		res.Iterations = append(res.Iterations, st)
-		p.Emit(core.RoundEvent{
-			Algorithm:  "mis",
-			Strategy:   "sparsify",
-			Round:      iter,
-			LiveNodes:  liveNodes,
-			LiveEdges:  st.EdgesBefore,
-			SeedsTried: st.SeedsTried,
-			SeedFound:  st.SeedFound,
-			Selected:   st.Selected,
-		})
+		if p.Observe != nil {
+			cs := model.Stats()
+			p.Observe(core.RoundEvent{
+				Algorithm:            "mis",
+				Strategy:             "sparsify",
+				Round:                iter,
+				LiveNodes:            liveNodes,
+				LiveEdges:            st.EdgesBefore,
+				SeedsTried:           st.SeedsTried,
+				SeedFound:            st.SeedFound,
+				Selected:             st.Selected,
+				Batches:              batchStats,
+				CostRounds:           cs.Rounds,
+				CostSeedBatches:      cs.SeedBatches,
+				CostPeakMachineWords: cs.PeakMachineWords,
+			})
+		}
 		sc.Reset()
 	}
 	// A cancellation break exits mid-round; the extra Reset (no-op on the

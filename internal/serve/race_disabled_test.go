@@ -1,0 +1,7 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector is active (see the race
+// build-tag twin for why allocation assertions check it).
+const raceEnabled = false

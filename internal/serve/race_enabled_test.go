@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is active; the warm-engine
+// allocation assertion in serve_test.go is skipped under -race (detector
+// instrumentation allocates on its own account), matching the root
+// package's convention.
+const raceEnabled = true

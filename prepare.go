@@ -1,0 +1,146 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+)
+
+// Fingerprint is a 64-bit content hash of a Graph (FNV-1a over the node
+// count and the canonical CSR arrays, see internal/graph). Structurally
+// equal graphs fingerprint equal regardless of the edge order they were
+// built from, which is what lets a serving layer deduplicate uploads: the
+// fingerprint is the wire name of a prepared graph.
+type Fingerprint uint64
+
+// String renders the fingerprint as 16 lowercase hex digits, the form the
+// serving layer uses on the wire.
+func (f Fingerprint) String() string { return fmt.Sprintf("%016x", uint64(f)) }
+
+// ParseFingerprint parses the hex form produced by Fingerprint.String.
+func ParseFingerprint(s string) (Fingerprint, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("repro: bad fingerprint %q: %w", s, err)
+	}
+	return Fingerprint(v), nil
+}
+
+// FingerprintOf computes the content fingerprint of g without preparing it.
+// A nil graph fingerprints like the empty graph.
+func FingerprintOf(g *Graph) Fingerprint {
+	return Fingerprint(g.Fingerprint())
+}
+
+// PreparedGraph is a solve-ready handle pairing one parsed CSR graph with
+// the Engine that prepared it. Handles are what Engine.Prepare deduplicates:
+// preparing the same graph content twice returns the same handle, so many
+// requests naming the same graph share one CSR instead of each carrying a
+// copy. A PreparedGraph is immutable and safe for concurrent use; its solve
+// methods are exactly the engine's Ctx entry points on the underlying graph
+// — bit-identical results, same option layering, same cancellation
+// semantics.
+type PreparedGraph struct {
+	eng *Engine
+	g   *Graph
+	fp  Fingerprint
+}
+
+// Graph returns the underlying parsed graph (shared; treat as immutable).
+func (pg *PreparedGraph) Graph() *Graph { return pg.g }
+
+// Fingerprint returns the content fingerprint the handle is cached under.
+func (pg *PreparedGraph) Fingerprint() Fingerprint { return pg.fp }
+
+// N returns the node count of the prepared graph.
+func (pg *PreparedGraph) N() int { return pg.g.N() }
+
+// M returns the undirected edge count of the prepared graph.
+func (pg *PreparedGraph) M() int { return pg.g.M() }
+
+// MaximalMatchingCtx solves maximal matching on the prepared graph; it is
+// Engine.MaximalMatchingCtx on the handle's graph and engine.
+func (pg *PreparedGraph) MaximalMatchingCtx(ctx context.Context, opts ...SolveOption) (*MatchingResult, error) {
+	return pg.eng.MaximalMatchingCtx(ctx, pg.g, opts...)
+}
+
+// MaximalIndependentSetCtx solves MIS on the prepared graph; it is
+// Engine.MaximalIndependentSetCtx on the handle's graph and engine.
+func (pg *PreparedGraph) MaximalIndependentSetCtx(ctx context.Context, opts ...SolveOption) (*MISResult, error) {
+	return pg.eng.MaximalIndependentSetCtx(ctx, pg.g, opts...)
+}
+
+// MaximalMatching is MaximalMatchingCtx with context.Background().
+func (pg *PreparedGraph) MaximalMatching(opts ...SolveOption) (*MatchingResult, error) {
+	return pg.MaximalMatchingCtx(context.Background(), opts...)
+}
+
+// MaximalIndependentSet is MaximalIndependentSetCtx with
+// context.Background().
+func (pg *PreparedGraph) MaximalIndependentSet(opts ...SolveOption) (*MISResult, error) {
+	return pg.MaximalIndependentSetCtx(context.Background(), opts...)
+}
+
+// Prepare registers g with the engine and returns its shared handle. The
+// first preparation of a given content caches the handle under the graph's
+// fingerprint; later Prepare calls with the same content — even a different
+// *Graph built from a differently ordered edge list — return the SAME
+// handle, dropping the new parse. Fingerprint hits are verified with a full
+// structural comparison before sharing, so a 64-bit collision can never
+// alias two distinct graphs: the colliding graph gets a private, uncached
+// handle instead.
+//
+// The cache holds prepared graphs until DropPrepared releases them; a
+// serving layer that accepts unbounded uploads should evict by its own
+// policy. Prepare is safe for concurrent use with itself and with solves.
+func (e *Engine) Prepare(g *Graph) (*PreparedGraph, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	fp := FingerprintOf(g)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if pg, ok := e.prepared[fp]; ok {
+		if pg.g.Same(g) {
+			return pg, nil
+		}
+		// True 64-bit collision: never share the cached CSR with a
+		// different graph. The newcomer solves through a private handle.
+		return &PreparedGraph{eng: e, g: g, fp: fp}, nil
+	}
+	pg := &PreparedGraph{eng: e, g: g, fp: fp}
+	if e.prepared == nil {
+		e.prepared = make(map[Fingerprint]*PreparedGraph)
+	}
+	e.prepared[fp] = pg
+	return pg, nil
+}
+
+// Prepared returns the cached handle for fp, if any. It is the lookup a
+// serving layer uses to resolve solve-by-fingerprint requests.
+func (e *Engine) Prepared(fp Fingerprint) (*PreparedGraph, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pg, ok := e.prepared[fp]
+	return pg, ok
+}
+
+// DropPrepared evicts the cached handle for fp, reporting whether one was
+// cached. Outstanding handles stay valid — eviction only stops future
+// Prepare/Prepared calls from sharing them.
+func (e *Engine) DropPrepared(fp Fingerprint) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.prepared[fp]; !ok {
+		return false
+	}
+	delete(e.prepared, fp)
+	return true
+}
+
+// PreparedCount returns the number of cached prepared graphs.
+func (e *Engine) PreparedCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.prepared)
+}

@@ -1,0 +1,173 @@
+package repro
+
+// Prepared-graph tests: Engine.Prepare must deduplicate by content, and a
+// PreparedGraph solve must be bit-identical to the engine's Ctx entry points
+// on the raw graph — the handle is a name for the same solve, never a
+// different code path.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestPrepareDedup: preparing the same content twice — even through a
+// different *Graph built from a reordered edge list — returns the same
+// handle; different content gets its own.
+func TestPrepareDedup(t *testing.T) {
+	eng := NewEngine(nil)
+	g1, err := Generate("gnm", 256, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same content, separately parsed: rebuild from the edge list reversed.
+	edges := g1.Edges()
+	rev := make([]Edge, len(edges))
+	for i, e := range edges {
+		rev[len(edges)-1-i] = e
+	}
+	g2 := FromEdges(g1.N(), rev)
+
+	pg1, err := eng.Prepare(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg2, err := eng.Prepare(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg1 != pg2 {
+		t.Fatal("same content prepared to different handles")
+	}
+	if pg2.Graph() != g1 {
+		t.Fatal("dedup did not keep the first parsed CSR")
+	}
+	if eng.PreparedCount() != 1 {
+		t.Fatalf("PreparedCount = %d, want 1", eng.PreparedCount())
+	}
+	if got, ok := eng.Prepared(pg1.Fingerprint()); !ok || got != pg1 {
+		t.Fatal("Prepared lookup missed the cached handle")
+	}
+
+	other, err := Generate("gnm", 256, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgOther, err := eng.Prepare(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pgOther == pg1 || eng.PreparedCount() != 2 {
+		t.Fatal("different content shared a handle")
+	}
+
+	if !eng.DropPrepared(pg1.Fingerprint()) {
+		t.Fatal("DropPrepared missed a cached fingerprint")
+	}
+	if eng.DropPrepared(pg1.Fingerprint()) {
+		t.Fatal("DropPrepared reported a second eviction")
+	}
+	if eng.PreparedCount() != 1 {
+		t.Fatalf("PreparedCount after drop = %d, want 1", eng.PreparedCount())
+	}
+	// The outstanding handle stays usable after eviction.
+	if _, err := pg1.MaximalMatching(); err != nil {
+		t.Fatalf("evicted handle failed to solve: %v", err)
+	}
+
+	if _, err := eng.Prepare(nil); err != ErrNilGraph {
+		t.Fatalf("Prepare(nil) = %v, want ErrNilGraph", err)
+	}
+}
+
+// TestFingerprintRoundTrip pins the wire form: String and ParseFingerprint
+// invert each other, and FingerprintOf matches what Prepare caches under.
+func TestFingerprintRoundTrip(t *testing.T) {
+	g, err := Generate("powerlaw", 128, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := FingerprintOf(g)
+	parsed, err := ParseFingerprint(fp.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != fp {
+		t.Fatalf("round trip %s → %s", fp, parsed)
+	}
+	if len(fp.String()) != 16 {
+		t.Fatalf("fingerprint %q not 16 hex digits", fp.String())
+	}
+	if _, err := ParseFingerprint("not-hex"); err == nil {
+		t.Fatal("ParseFingerprint accepted garbage")
+	}
+	pg, err := NewEngine(nil).Prepare(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Fingerprint() != fp {
+		t.Fatal("Prepare cached under a different fingerprint than FingerprintOf")
+	}
+	if pg.N() != g.N() || pg.M() != g.M() {
+		t.Fatal("handle misreports graph dimensions")
+	}
+}
+
+// TestPreparedSolveEquivalence is the equivalence table of the satellite:
+// per (strategy × family) cell, a PreparedGraph solve is bit-identical to
+// the engine's Ctx solve on the raw graph, for both problems.
+func TestPreparedSolveEquivalence(t *testing.T) {
+	eng := NewEngine(nil)
+	ctx := context.Background()
+	for _, w := range overrideWorkloads {
+		for _, strat := range []Strategy{StrategySparsify, StrategyLowDegree} {
+			t.Run(fmt.Sprintf("%s/%s", w.family, strat), func(t *testing.T) {
+				g, err := Generate(w.family, w.n, w.avg, w.seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pg, err := eng.Prepare(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				wantMM, err := eng.MaximalMatchingCtx(ctx, g, WithStrategy(strat))
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotMM, err := pg.MaximalMatchingCtx(ctx, WithStrategy(strat))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(gotMM.Edges) != len(wantMM.Edges) || gotMM.Iterations != wantMM.Iterations ||
+					gotMM.Strategy != wantMM.Strategy {
+					t.Fatalf("prepared matching differs: %d edges/%d iters, want %d/%d",
+						len(gotMM.Edges), gotMM.Iterations, len(wantMM.Edges), wantMM.Iterations)
+				}
+				for i := range gotMM.Edges {
+					if gotMM.Edges[i] != wantMM.Edges[i] {
+						t.Fatalf("prepared matching edge %d is %v, want %v", i, gotMM.Edges[i], wantMM.Edges[i])
+					}
+				}
+
+				wantIS, err := eng.MaximalIndependentSetCtx(ctx, g, WithStrategy(strat))
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotIS, err := pg.MaximalIndependentSetCtx(ctx, WithStrategy(strat))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(gotIS.Nodes) != len(wantIS.Nodes) || gotIS.Iterations != wantIS.Iterations {
+					t.Fatalf("prepared MIS differs: %d nodes/%d iters, want %d/%d",
+						len(gotIS.Nodes), gotIS.Iterations, len(wantIS.Nodes), wantIS.Iterations)
+				}
+				for i := range gotIS.Nodes {
+					if gotIS.Nodes[i] != wantIS.Nodes[i] {
+						t.Fatalf("prepared MIS node %d is %d, want %d", i, gotIS.Nodes[i], wantIS.Nodes[i])
+					}
+				}
+			})
+		}
+	}
+}

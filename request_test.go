@@ -9,7 +9,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 	"testing"
+	"time"
 )
 
 // eventLog collects observer events; it is used from one solve at a time so
@@ -191,7 +193,11 @@ func TestObserverDeterministicAcrossParallelism(t *testing.T) {
 						t.Fatalf("Parallelism=%d: %d events, want %d", par, len(log.events), len(ref))
 					}
 					for i := range ref {
-						if log.events[i] != ref[i] {
+						// DeepEqual covers the seed-batch sub-events and the
+						// incremental cost fields along with the scalars, so
+						// the whole extended event must be bit-identical at
+						// every Parallelism.
+						if !reflect.DeepEqual(log.events[i], ref[i]) {
 							t.Fatalf("Parallelism=%d: event %d is %+v, want %+v", par, i, log.events[i], ref[i])
 						}
 					}
@@ -397,6 +403,119 @@ func TestTypedErrors(t *testing.T) {
 	var asNME *NotMaximalError
 	if !errors.As(nme, &asNME) || asNME.Reason == "" {
 		t.Fatal("errors.As(*NotMaximalError) failed")
+	}
+}
+
+// TestObserverSeedBatchEvents pins the seed-batch-granular sub-events and
+// the incremental cost fields of the extended RoundEvent: per round, the
+// batch stats must tile the round's search exactly (cumulative counts,
+// batch sizes summing to SeedsTried, the Found flag landing on the last
+// batch iff the round found its seed), and the cost counters must be
+// cumulative across the event stream.
+func TestObserverSeedBatchEvents(t *testing.T) {
+	g, err := Generate("gnm", 512, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(nil)
+	for _, strat := range []Strategy{StrategySparsify, StrategyLowDegree} {
+		t.Run(string(strat), func(t *testing.T) {
+			log := &eventLog{}
+			if _, err := eng.MaximalMatchingCtx(context.Background(), g,
+				WithStrategy(strat), WithObserver(log)); err != nil {
+				t.Fatal(err)
+			}
+			if len(log.events) == 0 {
+				t.Fatal("no observer events")
+			}
+			prevRounds, prevBatches := 0, 0
+			for _, ev := range log.events {
+				if len(ev.Batches) == 0 {
+					t.Fatalf("round %d: no seed-batch sub-events (SeedsTried=%d)", ev.Round, ev.SeedsTried)
+				}
+				sum, cum := 0, 0
+				for i, b := range ev.Batches {
+					if b.Batch != i+1 {
+						t.Fatalf("round %d: batch %d has index %d", ev.Round, i, b.Batch)
+					}
+					if b.Seeds <= 0 {
+						t.Fatalf("round %d batch %d: %d seeds", ev.Round, b.Batch, b.Seeds)
+					}
+					sum += b.Seeds
+					cum = b.SeedsTried
+					if cum != sum {
+						t.Fatalf("round %d batch %d: cumulative %d, want %d", ev.Round, b.Batch, cum, sum)
+					}
+					if b.Found != (i == len(ev.Batches)-1 && ev.SeedFound) {
+						t.Fatalf("round %d batch %d: Found=%v misplaced", ev.Round, b.Batch, b.Found)
+					}
+				}
+				if sum != ev.SeedsTried {
+					t.Fatalf("round %d: batches sum to %d seeds, event says %d", ev.Round, sum, ev.SeedsTried)
+				}
+				// Cost counters are cumulative snapshots of one model.
+				if ev.CostRounds <= prevRounds || ev.CostSeedBatches < prevBatches+len(ev.Batches) {
+					t.Fatalf("round %d: cost counters not cumulative: rounds %d (prev %d), batches %d (prev %d + %d)",
+						ev.Round, ev.CostRounds, prevRounds, ev.CostSeedBatches, prevBatches, len(ev.Batches))
+				}
+				prevRounds, prevBatches = ev.CostRounds, ev.CostSeedBatches
+			}
+		})
+	}
+
+	// With cost tracking off the sub-events still flow, but the cost
+	// counters stay zero (there is no model to snapshot).
+	log := &eventLog{}
+	if _, err := eng.MaximalIndependentSetCtx(context.Background(), g,
+		WithCostTracking(false), WithObserver(log)); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range log.events {
+		if ev.CostRounds != 0 || ev.CostSeedBatches != 0 || ev.CostPeakMachineWords != 0 {
+			t.Fatalf("round %d: nonzero cost fields without a model: %+v", ev.Round, ev)
+		}
+		if len(ev.Batches) == 0 {
+			t.Fatalf("round %d: no sub-events with cost tracking off", ev.Round)
+		}
+	}
+}
+
+// TestDeadlineErrorMapping pins the ErrDeadlineExceeded refinement: a solve
+// abandoned because its deadline expired matches ErrCanceled AND
+// ErrDeadlineExceeded AND context.DeadlineExceeded, while a plain
+// cancellation matches ErrCanceled but NOT ErrDeadlineExceeded — that is
+// what lets a server map 504 vs 499 off one error value.
+func TestDeadlineErrorMapping(t *testing.T) {
+	g, err := Generate("gnm", 2048, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(nil)
+
+	// Already-expired deadline: the pre-solve fast path.
+	dctx, dcancel := context.WithTimeout(context.Background(), -time.Second)
+	defer dcancel()
+	_, err = eng.MaximalMatchingCtx(dctx, g)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, ErrDeadlineExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v, want ErrCanceled + ErrDeadlineExceeded + context.DeadlineExceeded", err)
+	}
+
+	// Deadline firing mid-solve: cancelAfter flips a deadline-expired
+	// context into the solve deterministically after round 1 by pairing the
+	// observer with an extremely short timeout armed at that point.
+	mctx, mcancel := context.WithCancel(context.Background())
+	defer mcancel()
+	_, err = eng.MaximalMatchingCtx(mctx, g, WithObserver(&cancelAfter{rounds: 1, cancel: mcancel}))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("mid-solve cancel: err = %v, want ErrCanceled", err)
+	}
+	if errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("plain cancellation must not match ErrDeadlineExceeded: %v", err)
+	}
+
+	// ErrOverloaded is a sibling, never produced by the Engine itself.
+	if errors.Is(err, ErrOverloaded) {
+		t.Fatalf("cancellation error must not match ErrOverloaded: %v", err)
 	}
 }
 
