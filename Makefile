@@ -17,11 +17,11 @@ BENCH_DATE := $(shell date +%F)
 # the bare date and silently pick a stale baseline).
 BENCH_BASELINE ?= $(shell ls BENCH_2*.json 2>/dev/null | LC_ALL=C sort | tail -1)
 # Benchmarks whose ns/op regression beyond 20% draws a warning (never a
-# failure): the seed-search kernel, its isolated selection-scan term, and
-# the warm-Engine reuse pairs.
-BENCH_WARN ?= BenchmarkT7_SeedSearch|BenchmarkT7_SelectionScan|BenchmarkEngineReuse
+# failure): the seed-search kernel, its isolated selection-scan and blocked
+# hash terms, and the warm-Engine reuse pairs.
+BENCH_WARN ?= BenchmarkT7_SeedSearch|BenchmarkT7_SelectionScan|BenchmarkEvalSeedsBlocked|BenchmarkEngineReuse
 
-.PHONY: build build-cmds test race race-engine bench bench-smoke bench-save bench-compare serve-smoke fmt fmt-check vet ci
+.PHONY: build build-cmds build-cross test race race-engine bench bench-smoke bench-save bench-compare serve-smoke fmt fmt-check vet ci
 
 # serve-smoke knobs: where detservd listens and where loadgen writes its
 # latency quantiles (archived as a CI artifact next to $(BENCH_OUT)).
@@ -39,6 +39,14 @@ build:
 build-cmds:
 	$(GO) build ./cmd/...
 	$(GO) build ./examples/...
+
+# Cross-compile check: the hash kernel has a GOARCH-gated assembly path
+# (amd64 AVX2) with a pure-Go fallback, so both the asm-bearing and the
+# fallback-only builds must compile. arm64 exercises the generic path's
+# build tags without needing arm64 hardware.
+build-cross:
+	GOARCH=amd64 $(GO) build ./...
+	GOARCH=arm64 $(GO) build ./...
 
 # Fast feedback: full suite without the race detector.
 test:
@@ -63,7 +71,7 @@ race:
 # byte-compare served responses against direct Engine solves under
 # concurrent mixed load, which is the same contract one layer up.
 race-engine:
-	$(GO) test -race -timeout 30m -run 'TestEngineReuseWorkerCountIndependence|TestEngineConcurrentSolves|TestHashKernelMatchesScalarPath|TestLowDegObjectiveKernelVsScalar|TestEvalKeysShardedMatchesSerial|TestEngineCancellationWorkerCountTable|TestEngineCancellationMidSolve|TestSolveOptionOverrideEquivalence|TestObserverDeterministicAcrossParallelism|TestObserverSeedBatchEvents|TestPreparedSolveEquivalence' .
+	$(GO) test -race -timeout 30m -run 'TestEngineReuseWorkerCountIndependence|TestEngineConcurrentSolves|TestHashKernelMatchesScalarPath|TestBlockedKernelMatchesScalarPath|TestLowDegObjectiveKernelVsScalar|TestEvalKeysShardedMatchesSerial|TestEngineCancellationWorkerCountTable|TestEngineCancellationMidSolve|TestSolveOptionOverrideEquivalence|TestObserverDeterministicAcrossParallelism|TestObserverSeedBatchEvents|TestPreparedSolveEquivalence' .
 	$(GO) test -race -timeout 30m ./internal/serve/
 
 # Full benchmark run (minutes); BENCH_PATTERN narrows it.
@@ -127,4 +135,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build build-cmds vet fmt-check race race-engine bench-smoke serve-smoke
+ci: build build-cmds build-cross vet fmt-check race race-engine bench-smoke serve-smoke

@@ -94,7 +94,21 @@ type Options struct {
 	// its precedence is unchanged (Serial wins over Parallelism when both
 	// are set, decided in core.EffectiveParallelism).
 	Serial bool
+	// PreparedCacheCap bounds the Engine's prepared-graph cache
+	// (Engine.Prepare): when an insert would exceed the cap, the
+	// least-recently-used entry (by Prepare/Prepared touch order) is
+	// evicted first. 0 means DefaultPreparedCacheCap; negative means
+	// unbounded. Eviction only forgets the shared handle — outstanding
+	// handles stay valid, and re-preparing the same content yields a
+	// bit-identical cache entry. DropPrepared remains the manual path.
+	PreparedCacheCap int
 }
+
+// DefaultPreparedCacheCap is the prepared-graph cache bound used when
+// Options.PreparedCacheCap is 0. Large enough that steady serving traffic
+// over a working set of graphs never evicts, small enough that an unbounded
+// upload storm cannot grow the engine without limit.
+const DefaultPreparedCacheCap = 256
 
 func (o *Options) params() core.Params {
 	p := core.DefaultParams()
@@ -351,8 +365,14 @@ type Engine struct {
 
 	// Prepared-graph cache (Engine.Prepare): content fingerprint → shared
 	// handle. Lazily built under mu so the zero-value Engine stays valid.
-	mu       sync.Mutex
-	prepared map[Fingerprint]*PreparedGraph
+	// preparedAge holds each entry's last-touch tick (monotonic under mu);
+	// when an insert pushes the cache past Options.PreparedCacheCap, the
+	// entry with the smallest tick — least recently prepared or looked up —
+	// is evicted first.
+	mu           sync.Mutex
+	prepared     map[Fingerprint]*PreparedGraph
+	preparedAge  map[Fingerprint]uint64
+	preparedTick uint64
 }
 
 // NewEngine returns an Engine solving with the given options (nil means

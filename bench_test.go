@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/cclique"
+	"repro/internal/condexp"
 	"repro/internal/core"
 	"repro/internal/detrand"
 	"repro/internal/experiments"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/matching"
 	"repro/internal/mis"
 	"repro/internal/mpc"
+	"repro/internal/scratch"
 	"repro/internal/simcost"
 	"repro/internal/sparsify"
 )
@@ -105,9 +107,11 @@ func BenchmarkT6_CongestedClique(b *testing.B) {
 // objective over a fixed E* (one charged O(1)-round batch), exactly as the
 // production searches do it — the slot-0 edge keys, packed selection keys
 // and packed-path decision are precomputed once per round (core.EdgeSel),
-// each candidate seed is one Evaluator.EvalKeys pass (Barrett reduction, no
-// per-edge closure) and one epoch-stamped local-minimum selection on pooled
-// scratch that touches only E*'s endpoints.
+// and the candidate seeds walk in condexp.BlockSeeds-sized groups through
+// the block-major kernel (Evaluator.EvalSeedsBlocked: S seeds per
+// cache-resident key block into a scratch tile, AVX2 inner loop where the
+// host has it) followed by one epoch-stamped local-minimum selection per
+// tile row on pooled scratch that touches only E*'s endpoints.
 func BenchmarkT7_SeedSearch(b *testing.B) {
 	g := gen.GNM(1<<12, 8<<12, 1)
 	p := core.DefaultParams()
@@ -119,15 +123,33 @@ func BenchmarkT7_SeedSearch(b *testing.B) {
 	keys := core.SlotKeysInto(make([]uint64, 0, len(edges)), edges, 0, n)
 	var sel core.EdgeSel
 	core.EdgeSelInit(&sel, n, edges, make([]uint64, 0, len(edges)), fam.P()-1)
-	z := make([]uint64, len(keys))
+	// Seeds are materialized into a flat buffer per batch exactly as
+	// condexp.Search does it; the timed loop then walks BlockSeeds groups.
+	const batch = 64
+	seedLen := fam.SeedLen()
+	seedBuf := make([]uint64, batch*seedLen)
+	seeds := make([][]uint64, batch)
+	enum := fam.Enumerate()
+	for i := 0; i < batch && enum.Next(); i++ {
+		s := seedBuf[i*seedLen : (i+1)*seedLen : (i+1)*seedLen]
+		copy(s, enum.Seed())
+		seeds[i] = s
+	}
+	var tile scratch.Tile
 	var lm core.EdgeMinScratch
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e := fam.Enumerate()
-		for count := 0; e.Next() && count < 64; count++ {
-			evaluator.EvalKeys(e.Seed(), keys, z)
-			core.LocalMinEdgesSel(&lm, &sel, z)
+		for lo := 0; lo < batch; lo += condexp.BlockSeeds {
+			hi := lo + condexp.BlockSeeds
+			if hi > batch {
+				hi = batch
+			}
+			rows := tile.Rows(hi-lo, len(keys))
+			evaluator.EvalSeedsBlocked(seeds[lo:hi], keys, rows)
+			for s := lo; s < hi; s++ {
+				core.LocalMinEdgesSel(&lm, &sel, rows[s-lo])
+			}
 		}
 	}
 }
@@ -159,6 +181,44 @@ func BenchmarkT7_SelectionScan(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for count := 0; count < 64; count++ {
 			core.LocalMinEdgesSel(&lm, &sel, z)
+		}
+	}
+}
+
+// BenchmarkEvalSeedsBlocked isolates the hash term of the seed search — the
+// block-major kernel alone at the T7 shape (64 pairwise seeds over E*'s slot
+// keys in condexp.BlockSeeds groups, scratch tile reused). bench-compare
+// tracks it alongside BenchmarkT7_SelectionScan so the two halves of
+// BenchmarkT7_SeedSearch are attributable separately.
+func BenchmarkEvalSeedsBlocked(b *testing.B) {
+	g := gen.GNM(1<<12, 8<<12, 1)
+	p := core.DefaultParams()
+	sp := sparsify.SparsifyEdges(g, p, nil)
+	edges := sp.EStar.Edges()
+	fam := core.PairwiseFamily(g.N())
+	evaluator := hashfam.NewEvaluator(fam)
+	keys := core.SlotKeysInto(make([]uint64, 0, len(edges)), edges, 0, g.N())
+	const batch = 64
+	seedLen := fam.SeedLen()
+	seedBuf := make([]uint64, batch*seedLen)
+	seeds := make([][]uint64, batch)
+	enum := fam.Enumerate()
+	for i := 0; i < batch && enum.Next(); i++ {
+		s := seedBuf[i*seedLen : (i+1)*seedLen : (i+1)*seedLen]
+		copy(s, enum.Seed())
+		seeds[i] = s
+	}
+	var tile scratch.Tile
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for lo := 0; lo < batch; lo += condexp.BlockSeeds {
+			hi := lo + condexp.BlockSeeds
+			if hi > batch {
+				hi = batch
+			}
+			rows := tile.Rows(hi-lo, len(keys))
+			evaluator.EvalSeedsBlocked(seeds[lo:hi], keys, rows)
 		}
 	}
 }

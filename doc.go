@@ -54,26 +54,41 @@
 // worker-count-independence tables against warm reused engines under the
 // race detector (make race-engine).
 //
-// The Engine's arithmetic hot path is the batched hash kernel: every seed
+// The Engine's arithmetic hot path is the blocked hash kernel: every seed
 // search precomputes its round's seed-independent state once — the hash-key
 // vector (core.SlotKeysInto, or a core.NodeSel live list restricted to the
 // round's candidates), the packed selection keys and the packed-path
-// decision (core.EdgeSel) — and each candidate seed is then a single
-// hashfam.Evaluator.EvalKeys pass — Barrett-style reduction with a
-// precomputed reciprocal of the field prime (internal/intmath.Reducer)
-// instead of a 128-bit division per coefficient — feeding z-vector
-// local-minimum selection. The kernel computes exactly the same field
-// values as the scalar hashfam.Family.Eval fallback, so derandomized
-// outputs are bit-identical either way (proven end to end by the
-// kernel-vs-scalar tables in parallel_determinism_test.go); see the "Hash
-// kernel" and "Selection scan" sections of ROADMAP.md.
+// decision (core.EdgeSel) — and candidate seeds are then evaluated
+// block-major: hashfam.Evaluator.EvalSeedsBlocked walks the key vector in
+// cache-resident blocks and evaluates all S seeds of a
+// condexp.BlockSeeds-sized group against each block before moving to the
+// next, writing an S×len(keys) scratch tile (internal/scratch.Tile) whose
+// rows then feed one z-vector local-minimum selection per seed. Key loads
+// are amortized S-fold, so the kernel is bounded by arithmetic, not memory
+// traffic. The arithmetic is regime-dispatched per field prime
+// (internal/intmath.Reducer): a single high-multiply Barrett path for
+// m ≤ 2^32 — with a GOARCH-gated AVX2 assembly inner loop on amd64 and a
+// pure-Go fallback elsewhere — a branchless Montgomery path for odd
+// m < 2^63, and Möller–Granlund wide reduction for the rest. Every regime
+// computes exactly the same field values as the scalar hashfam.Family.Eval
+// fallback, so derandomized outputs are bit-identical either way (proven
+// end to end by the kernel-vs-scalar and blocked-vs-scalar tables in
+// parallel_determinism_test.go and by fuzzing the blocked kernel against
+// per-seed EvalKeys); see the "Hash kernel" and "Selection scan" sections
+// of ROADMAP.md.
 //
-// The selection side of that path is epoch-stamped: the per-node minimum
-// tables and candidate-position indexes carry a stamp array plus a
-// generation counter, a slot being meaningful only when its stamp equals
-// the current generation. Each per-seed evaluation advances the generation
-// instead of clearing the tables, so its cost is proportional to the
-// touched set — the round's edges and candidates — not to the id space.
+// The selection side of that path picks its table discipline per round.
+// When the id space is dense against the edge list (n ≤ 4·|E|) the
+// per-node minimum table is flat-wiped and merged with plain loads and
+// stores, and the surviving edges are compacted branchlessly (unconditional
+// store, flag-advanced cursor) — the shapes the seed searches actually
+// scan are branch-hostile, so this is what the selection term's 2x comes
+// from. Sparse rounds instead go epoch-stamped: the tables carry a stamp
+// array plus a generation counter, a slot being meaningful only when its
+// stamp equals the current generation. Each per-seed evaluation advances
+// the generation instead of clearing the tables, so its cost is
+// proportional to the touched set — the round's edges and candidates — not
+// to the id space.
 // Results stay bit-identical across any reuse because a new generation
 // makes every old slot unreadable at O(1) cost, and when the uint32 counter
 // wraps the stamp array is hard-reset over its full capacity with the
@@ -183,7 +198,13 @@
 // a prepared solve is bit-identical to the engine's Ctx entry points on
 // the raw graph (TestPreparedSolveEquivalence pins this per strategy ×
 // family). FingerprintOf/ParseFingerprint expose the wire form;
-// Prepared/DropPrepared/PreparedCount manage the per-engine cache.
+// Prepared/DropPrepared/PreparedCount manage the per-engine cache. The
+// cache is bounded (Options.PreparedCacheCap, default
+// DefaultPreparedCacheCap): past the cap the least-recently-touched entry
+// is evicted on insert, so an upload storm cannot grow engine memory
+// without bound. Eviction only forgets the cached parse — outstanding
+// handles keep solving, and re-uploading an evicted graph re-prepares it
+// bit-identically.
 //
 // # Serving
 //

@@ -3,11 +3,14 @@ package repro
 // Golden-output regression corpus: the exact outputs of the deterministic
 // solvers — solution sets AND the per-round seed-search trajectory (seeds
 // tried, threshold met, objective value) — are committed under
-// testdata/golden/ per graph family and strategy. Every algorithmic change
-// that moves any output bit then shows up as a reviewable diff to these
-// files instead of silent drift; speed-only changes (the epoch-stamped
-// selections, the incident-count lowdeg objective, kernel sharding) must
-// leave them untouched. Regenerate deliberately with:
+// testdata/golden/ per graph family and strategy, alongside the randomized
+// luby baselines under a pinned detrand seed. Every algorithmic change that
+// moves any output bit then shows up as a reviewable diff to these files
+// instead of silent drift; speed-only changes (the epoch-stamped selections,
+// the incident-count lowdeg objective, kernel sharding) must leave them
+// untouched, while deliberate stream changes (the baselines' switch to
+// selection-field z draws) regenerate exactly the luby fields. Regenerate
+// deliberately with:
 //
 //	go test -run TestGoldenOutputs -update .
 //
@@ -22,8 +25,10 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/detrand"
 	"repro/internal/graph"
 	"repro/internal/lowdeg"
+	"repro/internal/luby"
 	"repro/internal/matching"
 	"repro/internal/mis"
 )
@@ -51,6 +56,16 @@ type goldenFile struct {
 	MatchingSearches []goldenSearch `json:"matching_searches"`
 	MISNodes         []int32        `json:"mis_nodes"`
 	MISSearches      []goldenSearch `json:"mis_searches"`
+
+	// Randomized baselines under detrand.New(GenSeed), MIS drawn first and
+	// the matching continuing the same stream. Strategy-independent (both
+	// strategy files of a family carry identical copies); they pin the
+	// baselines' z-draw stream, so e.g. moving the draws from full 64-bit
+	// words to the selection field [p) is a deliberate, reviewed diff here.
+	LubyMISNodes       []int32    `json:"luby_mis_nodes"`
+	LubyMISRounds      int        `json:"luby_mis_rounds"`
+	LubyMatchingEdges  [][2]int32 `json:"luby_matching_edges"`
+	LubyMatchingRounds int        `json:"luby_matching_rounds"`
 }
 
 var goldenWorkloads = []struct {
@@ -111,6 +126,20 @@ func goldenRun(t *testing.T, family string, n, avg int, seed uint64, strat Strat
 	default:
 		t.Fatalf("golden: unhandled strategy %q", strat)
 	}
+	src := detrand.New(seed)
+	lubyMIS := luby.MIS(g, src)
+	lubyMM := luby.MaximalMatching(g, src)
+	luby.Verify(g, lubyMIS.IndependentSet, lubyMM.Matching)
+	gf.LubyMISNodes = make([]int32, len(lubyMIS.IndependentSet))
+	for i, v := range lubyMIS.IndependentSet {
+		gf.LubyMISNodes[i] = int32(v)
+	}
+	gf.LubyMISRounds = len(lubyMIS.Rounds)
+	gf.LubyMatchingEdges = make([][2]int32, len(lubyMM.Matching))
+	for i, e := range lubyMM.Matching {
+		gf.LubyMatchingEdges[i] = [2]int32{int32(e.U), int32(e.V)}
+	}
+	gf.LubyMatchingRounds = len(lubyMM.Rounds)
 	return gf
 }
 

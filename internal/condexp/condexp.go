@@ -37,12 +37,49 @@ type Objective func(seed []uint64) int64
 // BatchObjective evaluates one whole batch of candidate seeds against
 // shared per-round state: it must set values[i] = q(seeds[i]) for every i,
 // with slot i depending only on seeds[i]. This is the vectorized form the
-// hash-kernel seed searches use — the caller precomputes the round's key
-// vector once, and each batch evaluation is one Evaluator.EvalKeys pass per
-// seed (typically fanned out over internal/parallel workers inside the
-// implementation, which keeps results bit-identical at any worker count
-// because slots are independent).
+// hash-kernel seed searches use — the caller hands the batch's whole seed
+// matrix over at once, so the implementation can evaluate block-major:
+// groups of BlockSeeds seeds per cache-resident key block through
+// hashfam.Evaluator.EvalSeedsBlocked into a scratch tile (see
+// ForEachSeedBlock), amortising one pass of key-vector memory traffic over
+// the group. Results stay bit-identical at any worker count — and identical
+// to per-seed EvalKeys evaluation — because slots are independent and the
+// blocked kernel is byte-equal to the seed-major one.
 type BatchObjective func(seeds [][]uint64, values []int64)
+
+// BlockSeeds is the seed-group width of the blocked evaluation path: how
+// many candidate seeds a BatchObjective evaluates per cache-resident key
+// block in one EvalSeedsBlocked call. Eight pairwise seeds keep the S×block
+// output tile at 8·4KB alongside the key block, inside L2 with room to
+// spare, while amortising the key-vector read traffic 8 ways. It also sets
+// the granularity ForEachSeedBlock fans groups out at, so batch sizes (the
+// default Options.BatchSize is 64) should be multiples of it for even
+// worker utilisation — but any batch length works, the last group just runs
+// short.
+const BlockSeeds = 8
+
+// ForEachSeedBlock partitions a batch of batchLen seeds into contiguous
+// groups of BlockSeeds (the last group may be shorter) and invokes
+// fn(lo, hi) for each group [lo, hi) on up to `workers` goroutines of the
+// shared internal/parallel pool. Group boundaries derive from batchLen and
+// BlockSeeds alone — never from the worker count — and every group touches
+// only its own seeds' value slots and per-worker scratch, so the repo's
+// determinism contract holds at any parallelism level. This is the fan-out
+// scaffold of the blocked BatchObjectives in matching/mis/lowdeg/sparsify.
+func ForEachSeedBlock(workers, batchLen int, fn func(lo, hi int)) {
+	if batchLen <= 0 {
+		return
+	}
+	groups := (batchLen + BlockSeeds - 1) / BlockSeeds
+	parallel.RunShards(workers, groups, func(g int) {
+		lo := g * BlockSeeds
+		hi := lo + BlockSeeds
+		if hi > batchLen {
+			hi = batchLen
+		}
+		fn(lo, hi)
+	})
+}
 
 // Options configure a search.
 type Options struct {

@@ -597,44 +597,80 @@ func LocalMinEdgesSel(s *EdgeMinScratch, sel *EdgeSel, z []uint64) []graph.Edge 
 		s.pmin1 = graph.Grow(s.pmin1, sel.n)
 		s.pkeys = graph.Grow(s.pkeys, len(edges))
 		min1, keys := s.pmin1, s.pkeys[:len(edges)]
-		// Insertion pass: only the endpoints the edge list touches are ever
-		// stamped and (re)initialised — the id-space-wide clear is gone.
-		// The merge is branchless: whether an endpoint's slot is stale and
-		// whether the new key undercuts it both depend on the (effectively
-		// random) hash values, so branches here mispredict heavily. Instead,
-		// a stale slot's value is forced to all-ones by OR-ing a mask
-		// derived from stamp[v] ^ ep (nonzero iff stale), the min is a
-		// compare the compiler lowers to a conditional move, and the stamp
-		// and table stores are unconditional.
-		for idx, e := range edges {
-			k := z[idx]<<idBits | ekeys[idx]
-			keys[idx] = k
-			u, v := e.U, e.V
-			su := uint64(stamp[u] ^ ep)
-			mu := min1[u] | -((su | -su) >> 63)
-			if k < mu {
-				mu = k
+		if sel.n <= 4*len(edges) {
+			// Dense rounds (the seed-search regime that dominates T7): a
+			// flat wipe of the whole min table costs a fraction of what the
+			// per-endpoint epoch bookkeeping saves, so the merge loop drops
+			// to load–min–store per endpoint. An all-ones slot reads as
+			// "no incident key yet" exactly like a stale stamped slot, so
+			// the resulting table — and the selected edges — are
+			// bit-identical to the stamped pass below.
+			min1 := min1[:sel.n]
+			for i := range min1 {
+				min1[i] = ^uint64(0)
 			}
-			stamp[u] = ep
-			min1[u] = mu
-			sv := uint64(stamp[v] ^ ep)
-			mv := min1[v] | -((sv | -sv) >> 63)
-			if k < mv {
-				mv = k
+			for idx, e := range edges {
+				k := z[idx]<<idBits | ekeys[idx]
+				keys[idx] = k
+				u, v := e.U, e.V
+				mu := min1[u]
+				if k < mu {
+					mu = k
+				}
+				min1[u] = mu
+				mv := min1[v]
+				if k < mv {
+					mv = k
+				}
+				min1[v] = mv
 			}
-			stamp[v] = ep
-			min1[v] = mv
+		} else {
+			// Sparse rounds (edge list tiny against the id space): only the
+			// endpoints the edge list touches are ever stamped and
+			// (re)initialised — no id-space-wide clear. The merge is
+			// branchless: whether an endpoint's slot is stale and whether
+			// the new key undercuts it both depend on the (effectively
+			// random) hash values, so branches here mispredict heavily.
+			// Instead, a stale slot's value is forced to all-ones by OR-ing
+			// a mask derived from stamp[v] ^ ep (nonzero iff stale), the
+			// min is a compare the compiler lowers to a conditional move,
+			// and the stamp and table stores are unconditional.
+			for idx, e := range edges {
+				k := z[idx]<<idBits | ekeys[idx]
+				keys[idx] = k
+				u, v := e.U, e.V
+				su := uint64(stamp[u] ^ ep)
+				mu := min1[u] | -((su | -su) >> 63)
+				if k < mu {
+					mu = k
+				}
+				stamp[u] = ep
+				min1[u] = mu
+				sv := uint64(stamp[v] ^ ep)
+				mv := min1[v] | -((sv | -sv) >> 63)
+				if k < mv {
+					mv = k
+				}
+				stamp[v] = ep
+				min1[v] = mv
+			}
 		}
 		// Output pass: an edge is selected iff its key is the minimum at
-		// both endpoints.
-		out := s.out[:0]
+		// both endpoints. Compaction is branchless — the edge is stored
+		// unconditionally and the cursor advances by a flag derived from
+		// the two equality checks, because "is this edge an argmin" is
+		// random enough that a conditional append mispredicts on a large
+		// fraction of edges (every distinct endpoint has one argmin).
+		outBuf := graph.Grow(s.out, len(edges))[:len(edges)]
+		cnt := 0
 		for idx, e := range edges {
-			if k := keys[idx]; min1[e.U] == k && min1[e.V] == k {
-				out = append(out, e)
-			}
+			k := keys[idx]
+			d := (min1[e.U] ^ k) | (min1[e.V] ^ k)
+			outBuf[cnt] = e
+			cnt += int(1 ^ (d|-d)>>63)
 		}
-		s.out = out
-		return out
+		s.out = outBuf[:cnt]
+		return s.out
 	}
 	s.min1 = graph.Grow(s.min1, sel.n)
 	s.keys = graph.Grow(s.keys, len(edges))

@@ -71,6 +71,25 @@ func (r *Source) Intn(n int) int {
 	return int(hi)
 }
 
+// Uint64n returns a uniform uint64 in [0, bound). It panics if bound == 0.
+// Same nearly-divisionless rejection sampling as Intn, for bounds beyond the
+// int range — the luby baselines draw z values from the selection kernels'
+// hash field [p), where p = 64n² overflows int32 platforms' Intn long before
+// it stops fitting a uint64.
+func (r *Source) Uint64n(bound uint64) uint64 {
+	if bound == 0 {
+		panic("detrand: Uint64n with bound == 0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), bound)
+	if lo < bound {
+		threshold := (-bound) % bound
+		for lo < threshold {
+			hi, lo = bits.Mul64(r.Uint64(), bound)
+		}
+	}
+	return hi
+}
+
 // Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
 func (r *Source) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

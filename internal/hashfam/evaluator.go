@@ -96,6 +96,93 @@ func (e *Evaluator) evalReduced(c, keys, out []uint64) {
 	}
 }
 
+// blockedKeyGrain is the key-block size of EvalSeedsBlocked: 512 keys = 4KB,
+// comfortably inside L1 alongside one output row, so every seed after the
+// first reads the block from cache instead of re-streaming the key vector
+// from memory. Block boundaries derive from len(keys) and this constant
+// alone, and each output element depends only on its own key and seed, so
+// blocking is unobservable in the results.
+const blockedKeyGrain = 512
+
+// EvalSeedsBlocked writes out[s][i] = h_seeds[s](keys[i]) for every seed and
+// key: the block-major multi-seed kernel of the batched seed searches. Where
+// EvalKeys is seed-major (one seed re-streams the whole key vector), this
+// walks the key vector once in cache-resident blocks of blockedKeyGrain and
+// evaluates all S candidate seeds against each block before advancing —
+// the memory traffic of one pass, amortised over the batch. Pairwise
+// (k = 2) families additionally run four seeds per inner loop through
+// intmath.Reducer.EvalPoly2x4, which keeps four independent Barrett chains
+// (or, on AVX2 hardware, four-key vector sweeps) in flight per block.
+//
+// Results are byte-identical to calling EvalKeys(seeds[s], keys, out[s]) for
+// each s in order — fuzz-proven in evaluator_test.go — so the blocked path
+// is a speed change only. Every seed must have the family's SeedLen, every
+// key must be < P, and each of the first len(seeds) rows of out must have at
+// least len(keys) entries. Dirty row contents and slots beyond len(keys) are
+// never read, so tile rows drawn from internal/scratch can be passed as-is.
+func (e *Evaluator) EvalSeedsBlocked(seeds [][]uint64, keys []uint64, out [][]uint64) {
+	k := e.fam.k
+	S := len(seeds)
+	if len(out) < S {
+		panic("hashfam: EvalSeedsBlocked with fewer output rows than seeds")
+	}
+	for s, seed := range seeds {
+		if len(seed) != k {
+			panic(fmt.Sprintf("hashfam: seed length %d, want %d", len(seed), k))
+		}
+		if len(out[s]) < len(keys) {
+			panic("hashfam: EvalSeedsBlocked output row shorter than key vector")
+		}
+	}
+	if S == 0 || len(keys) == 0 {
+		return
+	}
+	// Reduce every seed's coefficients once up front (the per-seed analogue
+	// of EvalKeys' single reduceSeed). The stack array covers the batch
+	// shapes the objectives feed (S <= condexp.BlockSeeds, k <= 4); larger
+	// requests fall back to one allocation amortised over S full key sweeps.
+	var cstack [64]uint64
+	var cs []uint64
+	if S*k <= len(cstack) {
+		cs = cstack[:S*k]
+	} else {
+		cs = make([]uint64, S*k)
+	}
+	for s, seed := range seeds {
+		c := cs[s*k : (s+1)*k]
+		for i, v := range seed {
+			c[i] = e.red.Mod(v)
+		}
+	}
+	pairwise := k == 2
+	for lo := 0; lo < len(keys); lo += blockedKeyGrain {
+		hi := lo + blockedKeyGrain
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		kb := keys[lo:hi]
+		if pairwise {
+			s := 0
+			for ; s+4 <= S; s += 4 {
+				var c0, c1 [4]uint64
+				for j := 0; j < 4; j++ {
+					c0[j] = cs[(s+j)*2]
+					c1[j] = cs[(s+j)*2+1]
+				}
+				e.red.EvalPoly2x4(&c0, &c1, kb,
+					out[s][lo:hi], out[s+1][lo:hi], out[s+2][lo:hi], out[s+3][lo:hi])
+			}
+			for ; s < S; s++ {
+				e.red.EvalPoly2(cs[s*2], cs[s*2+1], kb, out[s][lo:hi])
+			}
+		} else {
+			for s := 0; s < S; s++ {
+				e.evalReduced(cs[s*k:(s+1)*k], kb, out[s][lo:hi])
+			}
+		}
+	}
+}
+
 // evalKeysShardGrain is the minimum number of keys a shard must carry for
 // the EvalKeysW fan-out to pay for its goroutine handoffs. Shard boundaries
 // derive from len(keys) and this constant alone — never from the worker

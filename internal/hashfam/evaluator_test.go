@@ -134,6 +134,148 @@ func FuzzEvalKeysMatchesEval(f *testing.F) {
 	})
 }
 
+// TestEvalSeedsBlockedMatchesEvalKeys is the blocked kernel's contract:
+// evaluating the whole seed matrix block-major over dirty tile rows is
+// byte-identical to S independent seed-major EvalKeys sweeps. Key counts
+// straddle the block grain (empty, below, exact multiple, ragged tail) and
+// S covers the EvalPoly2x4 groups plus remainders.
+func TestEvalSeedsBlockedMatchesEvalKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range evaluatorFamilies {
+		f := New(tc.minField, tc.k)
+		ev := NewEvaluator(f)
+		for _, S := range []int{0, 1, 3, 4, 8, 11} {
+			for _, n := range []int{0, 1, 7, 511, 512, 513, 1400} {
+				seeds := make([][]uint64, S)
+				for s := range seeds {
+					seeds[s] = make([]uint64, f.SeedLen())
+					for i := range seeds[s] {
+						seeds[s][i] = rng.Uint64() // unreduced: Mod'd like EvalKeys
+					}
+				}
+				keys := make([]uint64, n)
+				for i := range keys {
+					keys[i] = rng.Uint64() % f.P()
+				}
+				if n > 1 {
+					keys[0], keys[1] = 0, f.P()-1
+				}
+				got := make([][]uint64, S)
+				want := make([][]uint64, S)
+				for s := 0; s < S; s++ {
+					got[s] = make([]uint64, n)
+					want[s] = make([]uint64, n)
+					for i := 0; i < n; i++ {
+						got[s][i] = ^uint64(0) // dirty prior contents must not leak
+					}
+					ev.EvalKeys(seeds[s], keys, want[s])
+				}
+				ev.EvalSeedsBlocked(seeds, keys, got)
+				for s := 0; s < S; s++ {
+					for i := 0; i < n; i++ {
+						if got[s][i] != want[s][i] {
+							t.Fatalf("p=%d k=%d S=%d n=%d: seed %d key %d: blocked = %d, EvalKeys = %d",
+								f.P(), f.K(), S, n, s, i, got[s][i], want[s][i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEvalSeedsBlockedPanics(t *testing.T) {
+	f := New(97, 2)
+	ev := NewEvaluator(f)
+	keys := []uint64{0, 1, 2}
+	for name, fn := range map[string]func(){
+		"short seed": func() {
+			ev.EvalSeedsBlocked([][]uint64{{1}}, keys, [][]uint64{make([]uint64, 3)})
+		},
+		"missing row": func() {
+			ev.EvalSeedsBlocked([][]uint64{{1, 2}, {3, 4}}, keys, [][]uint64{make([]uint64, 3)})
+		},
+		"short row": func() {
+			ev.EvalSeedsBlocked([][]uint64{{1, 2}}, keys, [][]uint64{make([]uint64, 2)})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// FuzzEvalSeedsBlockedMatchesEvalKeys drives the blocked kernel with
+// arbitrary fields (pinned to the reducer's boundary regimes: near 1, near
+// 2^32, near 2^63, near 2^64), S in {1, 3, 8}, and ragged key counts that
+// leave partial tail blocks; any byte difference from the per-seed kernel
+// fails. Buffers start dirty.
+func FuzzEvalSeedsBlockedMatchesEvalKeys(f *testing.F) {
+	f.Add(uint64(1), 2, 1, uint64(12345), 513)
+	f.Add((uint64(1)<<32)-1, 2, 8, uint64(99), 1025)
+	f.Add((uint64(1)<<32)+1, 4, 3, uint64(7), 70)
+	f.Add((uint64(1)<<63)+29, 2, 8, ^uint64(0), 512)
+	f.Add(^uint64(0)-58, 9, 3, uint64(424242), 600)
+	f.Fuzz(func(t *testing.T, minField uint64, k, S int, base uint64, n int) {
+		if k < 1 || k > 12 {
+			return
+		}
+		switch S {
+		case 1, 3, 8:
+		default:
+			return
+		}
+		if n < 0 || n > 2048 {
+			return
+		}
+		if minField > ^uint64(0)-58 {
+			minField = ^uint64(0) - 58 // 2^64-59 is the largest uint64 prime
+		}
+		fam := New(minField, k)
+		ev := NewEvaluator(fam)
+		x := base
+		next := func() uint64 {
+			x = x*6364136223846793005 + 1442695040888963407
+			return x
+		}
+		seeds := make([][]uint64, S)
+		for s := range seeds {
+			seeds[s] = make([]uint64, k)
+			for i := range seeds[s] {
+				seeds[s][i] = next()
+			}
+		}
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = next() % fam.P()
+		}
+		got := make([][]uint64, S)
+		want := make([][]uint64, S)
+		for s := 0; s < S; s++ {
+			got[s] = make([]uint64, n)
+			want[s] = make([]uint64, n)
+			for i := 0; i < n; i++ {
+				got[s][i] = base // dirty
+			}
+			ev.EvalKeys(seeds[s], keys, want[s])
+		}
+		ev.EvalSeedsBlocked(seeds, keys, got)
+		for s := 0; s < S; s++ {
+			for i := 0; i < n; i++ {
+				if got[s][i] != want[s][i] {
+					t.Fatalf("p=%d k=%d S=%d n=%d: seed %d key %d: blocked %d, per-seed %d",
+						fam.P(), k, S, n, s, i, got[s][i], want[s][i])
+				}
+			}
+		}
+	})
+}
+
 func BenchmarkEvalScalar(b *testing.B) {
 	f := New(1<<28, 2)
 	seed := []uint64{12345, 67890}
@@ -165,6 +307,33 @@ func BenchmarkEvalKeysKernel(b *testing.B) {
 		ev.EvalKeys(seed, keys, out)
 	}
 	sink = out[0]
+}
+
+// BenchmarkEvalSeedsBlocked is the blocked kernel under the production
+// shape: condexp.BlockSeeds pairwise seeds over a T7-sized key vector.
+// Compare against 8x BenchmarkEvalKeysKernel for the seed-major baseline.
+func BenchmarkEvalSeedsBlocked(b *testing.B) {
+	f := New(1<<28, 2)
+	ev := NewEvaluator(f)
+	const S = 8
+	seeds := make([][]uint64, S)
+	for s := range seeds {
+		seeds[s] = []uint64{uint64(s)*12345 + 1, uint64(s)*67890 + 3}
+	}
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = uint64(i) * 65537 % f.P()
+	}
+	out := make([][]uint64, S)
+	for s := range out {
+		out[s] = make([]uint64, len(keys))
+	}
+	b.SetBytes(int64(S * len(keys) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvalSeedsBlocked(seeds, keys, out)
+	}
+	sink = out[0][0]
 }
 
 var sink uint64

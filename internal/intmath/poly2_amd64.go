@@ -1,0 +1,79 @@
+//go:build amd64
+
+package intmath
+
+// useAVX2 gates the vector path of the small-modulus degree-1 kernel. It is
+// a variable, not a constant, so the equivalence tests can force the
+// portable loop on AVX2 hardware and byte-compare the two; nothing outside
+// the tests writes it after init.
+var useAVX2 = cpuHasAVX2()
+
+// evalPoly2AsmMin is the key count below which the vector path is not worth
+// the call + VZEROUPPER overhead. Small enough that every real block (the
+// blocked kernel feeds 512-key blocks, the objectives feed full key vectors)
+// takes the vector loop.
+const evalPoly2AsmMin = 8
+
+// evalPoly2AVX2 is the four-keys-per-iteration AVX2 body of the small-path
+// EvalPoly2 loop, implemented in poly2_amd64.s. Preconditions, enforced by
+// the dispatcher: m < 2^32 strictly (the q·m step is a 32x32 VPMULUDQ, and
+// the quotient bound q < m needs headroom below 2^32), rec = floor(2^64/m)
+// as built by NewReducer, c0, c1 and all keys < m, and n a positive
+// multiple of 4 with n <= len(keys), len(out). It computes exactly the
+// branchless arithmetic of evalPoly2SmallGo, lane by lane, so the results
+// are bit-identical to the portable loop.
+//
+//go:noescape
+func evalPoly2AVX2(c0, c1, m, rec uint64, keys, out *uint64, n int)
+
+// cpuid executes CPUID for (leaf, sub); implemented in poly2_amd64.s. The
+// module is dependency-free, so feature detection is hand-rolled rather
+// than imported.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0; implemented in poly2_amd64.s. Only valid when CPUID
+// reports OSXSAVE.
+func xgetbv0() (eax, edx uint32)
+
+// cpuHasAVX2 reports whether the CPU supports AVX2 and the OS saves YMM
+// state across context switches (OSXSAVE set and XCR0 enabling both XMM and
+// YMM): the full gate Intel documents for using VEX.256 instructions.
+func cpuHasAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&6 != 6 { // XMM (bit 1) and YMM (bit 2) state enabled
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}
+
+// evalPoly2Accelerated reports whether the vector path applies to modulus m
+// on this machine (the blocked multi-seed kernel uses it to pick between
+// per-seed vector sweeps and the four-chain portable loop).
+func evalPoly2Accelerated(m uint64) bool {
+	return useAVX2 && m>>32 == 0
+}
+
+// evalPoly2Small dispatches the small-path EvalPoly2 loop: the AVX2 body
+// over the aligned prefix when the modulus and hardware qualify, the
+// portable loop for the ragged tail and everything else.
+func (r Reducer) evalPoly2Small(c0, c1 uint64, keys, out []uint64) {
+	m, rec := r.m, r.rec
+	if evalPoly2Accelerated(m) && len(keys) >= evalPoly2AsmMin {
+		n := len(keys) &^ 3
+		evalPoly2AVX2(c0, c1, m, rec, &keys[0], &out[0], n)
+		keys, out = keys[n:], out[n:]
+	}
+	evalPoly2SmallGo(c0, c1, m, rec, keys, out)
+}

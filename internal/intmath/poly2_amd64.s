@@ -1,0 +1,112 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func evalPoly2AVX2(c0, c1, m, rec uint64, keys, out *uint64, n int)
+//
+// Four keys per iteration of the small-path EvalPoly2 loop, one 64-bit lane
+// per key. The arithmetic is exactly evalPoly2SmallGo's, so the stores are
+// bit-identical to the portable loop:
+//
+//	p   = c1 * x                      // exact: c1, x < m < 2^32
+//	q   = high64(p * rec)             // 64x64 high product from 32-bit parts
+//	t   = p - q*m - m                 // wrapping; q < m < 2^32, so q*m exact
+//	v   = t + (m & signmask(t))       // fold the Barrett overshoot
+//	t   = v + (c0 - m)                // wrapping add of the broadcast c0-m
+//	out = t + (m & signmask(t))       // fold the coefficient wrap
+//
+// The high product decomposes over 32-bit halves (pl = low32(p),
+// ph = p>>32, rl = low32(rec), rh = rec>>32):
+//
+//	t1 = pl*rl  t2 = pl*rh  t3 = ph*rl  t4 = ph*rh
+//	carry = ((t1>>32) + low32(t2) + low32(t3)) >> 32
+//	q     = t4 + (t2>>32) + (t3>>32) + carry
+//
+// Every partial sum is < 2^34, so no lane overflows. signmask(t) is the
+// all-ones-if-negative mask VPCMPGTQ(0, t) — |t| < 2^33 on both uses, far
+// inside signed range.
+//
+// Constant registers: Y0=m, Y1=rl, Y2=rh, Y3=c1, Y4=c0-m, Y5=0,
+// Y6=low-32 lane mask. Preconditions (dispatcher-enforced): m < 2^32,
+// n > 0 and n%4 == 0.
+TEXT ·evalPoly2AVX2(SB), NOSPLIT, $0-56
+	MOVQ         m+16(FP), AX
+	VMOVQ        AX, X0
+	VPBROADCASTQ X0, Y0         // Y0 = m
+	MOVQ         rec+24(FP), BX
+	MOVL         BX, DX         // zero-extends: low 32 bits of rec
+	VMOVQ        DX, X1
+	VPBROADCASTQ X1, Y1         // Y1 = rl
+	MOVQ         BX, DX
+	SHRQ         $32, DX
+	VMOVQ        DX, X2
+	VPBROADCASTQ X2, Y2         // Y2 = rh
+	MOVQ         c1+8(FP), DX
+	VMOVQ        DX, X3
+	VPBROADCASTQ X3, Y3         // Y3 = c1
+	MOVQ         c0+0(FP), DX
+	SUBQ         AX, DX         // c0 - m, wrapping like the Go loop
+	VMOVQ        DX, X4
+	VPBROADCASTQ X4, Y4         // Y4 = c0 - m
+	VPXOR        Y5, Y5, Y5     // Y5 = 0
+	VPCMPEQQ     Y6, Y6, Y6
+	VPSRLQ       $32, Y6, Y6    // Y6 = 0x00000000FFFFFFFF per lane
+	MOVQ         keys+32(FP), SI
+	MOVQ         out+40(FP), DI
+	MOVQ         n+48(FP), CX
+
+avx2loop:
+	VMOVDQU  (SI), Y7           // x (4 keys)
+	VPMULUDQ Y3, Y7, Y7         // p = c1*x (both < 2^32: exact)
+	VPSRLQ   $32, Y7, Y8        // ph
+	VPMULUDQ Y1, Y7, Y9         // t1 = pl*rl
+	VPMULUDQ Y2, Y7, Y10        // t2 = pl*rh
+	VPMULUDQ Y1, Y8, Y11        // t3 = ph*rl
+	VPMULUDQ Y2, Y8, Y8         // t4 = ph*rh
+	VPSRLQ   $32, Y9, Y9        // t1>>32
+	VPAND    Y6, Y10, Y12       // low32(t2)
+	VPADDQ   Y12, Y9, Y9
+	VPAND    Y6, Y11, Y12       // low32(t3)
+	VPADDQ   Y12, Y9, Y9
+	VPSRLQ   $32, Y9, Y9        // carry
+	VPSRLQ   $32, Y10, Y10      // t2>>32
+	VPSRLQ   $32, Y11, Y11      // t3>>32
+	VPADDQ   Y10, Y8, Y8
+	VPADDQ   Y11, Y8, Y8
+	VPADDQ   Y9, Y8, Y8         // q = high64(p*rec)
+	VPMULUDQ Y0, Y8, Y8         // q*m (both < 2^32: exact)
+	VPSUBQ   Y8, Y7, Y7         // p - q*m
+	VPSUBQ   Y0, Y7, Y7         // t = p - q*m - m
+	VPCMPGTQ Y7, Y5, Y8         // signmask(t): 0 > t, signed
+	VPAND    Y0, Y8, Y8
+	VPADDQ   Y8, Y7, Y7         // v
+	VPADDQ   Y4, Y7, Y7         // t = v + (c0 - m)
+	VPCMPGTQ Y7, Y5, Y8
+	VPAND    Y0, Y8, Y8
+	VPADDQ   Y8, Y7, Y7
+	VMOVDQU  Y7, (DI)
+	ADDQ     $32, SI
+	ADDQ     $32, DI
+	SUBQ     $4, CX
+	JNE      avx2loop
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL  leaf+0(FP), AX
+	MOVL  sub+4(FP), CX
+	CPUID
+	MOVL  AX, eax+8(FP)
+	MOVL  BX, ebx+12(FP)
+	MOVL  CX, ecx+16(FP)
+	MOVL  DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL    CX, CX
+	XGETBV
+	MOVL    AX, eax+0(FP)
+	MOVL    DX, edx+4(FP)
+	RET

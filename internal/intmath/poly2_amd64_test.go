@@ -1,0 +1,122 @@
+//go:build amd64
+
+package intmath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEvalPoly2AVX2MatchesGo byte-compares the vector path against the
+// portable loop on every small-regime boundary modulus, across lengths that
+// exercise the below-threshold fallback, exact multiples of 4, and ragged
+// tails. Skips (rather than silently passing vacuously) when the host has
+// no AVX2.
+func TestEvalPoly2AVX2MatchesGo(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("host CPU has no AVX2; vector path untestable here (covered by the portable loop everywhere)")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, m := range reducerModuli {
+		if m>>32 != 0 {
+			continue // wide-regime moduli never reach the vector path
+		}
+		r := NewReducer(m)
+		for _, n := range []int{1, 4, 7, 8, 9, 63, 64, 255, 512, 1021} {
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = rng.Uint64() % m
+			}
+			keys[0], keys[n-1] = 0, m-1
+			c0 := rng.Uint64() % m
+			c1 := rng.Uint64() % m
+			got := make([]uint64, n)
+			want := make([]uint64, n)
+			for i := 0; i < n; i++ {
+				got[i] = ^uint64(0)
+				want[i] = 0xDEADBEEF
+			}
+			evalPoly2SmallGo(c0, c1, m, r.rec, keys, want)
+			r.evalPoly2Small(c0, c1, keys, got)
+			for i := 0; i < n; i++ {
+				if got[i] != want[i] {
+					t.Fatalf("m=%d n=%d key[%d]=%d: AVX2 path = %d, portable = %d",
+						m, n, i, keys[i], got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// FuzzEvalPoly2AVX2MatchesGo drives the vector path with arbitrary
+// small-regime moduli and coefficient/key material, byte-comparing against
+// the portable loop. The dispatcher's m < 2^32 gate and tail handling are
+// inside the fuzzed surface.
+func FuzzEvalPoly2AVX2MatchesGo(f *testing.F) {
+	f.Add(uint64(97), uint64(3), uint64(5), uint64(11), 37)
+	f.Add(uint64(1)<<32, uint64(1), uint64(2), uint64(3), 64)
+	f.Add((uint64(1)<<32)-1, uint64(0), (uint64(1)<<32)-2, uint64(12345), 9)
+	f.Add(uint64(1), uint64(0), uint64(0), uint64(0), 8)
+	f.Fuzz(func(t *testing.T, m, c0, c1, keyBase uint64, n int) {
+		if !useAVX2 {
+			t.Skip("no AVX2")
+		}
+		if m == 0 || m > 1<<32 {
+			return
+		}
+		if n < 0 || n > 4096 {
+			return
+		}
+		r := NewReducer(m)
+		c0, c1 = c0%m, c1%m
+		keys := make([]uint64, n)
+		x := keyBase
+		for i := range keys {
+			x = x*6364136223846793005 + 1442695040888963407
+			keys[i] = x % m
+		}
+		got := make([]uint64, n)
+		want := make([]uint64, n)
+		evalPoly2SmallGo(c0, c1, m, r.rec, keys, want)
+		r.evalPoly2Small(c0, c1, keys, got)
+		for i := 0; i < n; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("m=%d n=%d i=%d key=%d: AVX2 = %d, portable = %d", m, n, i, keys[i], got[i], want[i])
+			}
+		}
+	})
+}
+
+func BenchmarkEvalPoly2AVX2(b *testing.B) {
+	const m = 1 << 28
+	r := NewReducer(m)
+	keys := make([]uint64, 4096)
+	rng := rand.New(rand.NewSource(6))
+	for i := range keys {
+		keys[i] = rng.Uint64() % m
+	}
+	out := make([]uint64, len(keys))
+	b.SetBytes(int64(len(keys) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.EvalPoly2(12345, 67890, keys, out)
+	}
+	sinkU64 = out[0]
+}
+
+func BenchmarkEvalPoly2PortableGo(b *testing.B) {
+	const m = 1 << 28
+	r := NewReducer(m)
+	keys := make([]uint64, 4096)
+	rng := rand.New(rand.NewSource(7))
+	for i := range keys {
+		keys[i] = rng.Uint64() % m
+	}
+	out := make([]uint64, len(keys))
+	b.SetBytes(int64(len(keys) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evalPoly2SmallGo(12345, 67890, m, r.rec, keys, out)
+	}
+	sinkU64 = out[0]
+}

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package intmath
+
+// evalPoly2Accelerated reports whether a vector path applies to modulus m.
+// Only amd64 has one; every other GOARCH builds the portable loops alone.
+func evalPoly2Accelerated(uint64) bool { return false }
+
+// evalPoly2Small is the small-path EvalPoly2 loop on architectures without
+// a vector kernel: the portable branchless loop, nothing else.
+func (r Reducer) evalPoly2Small(c0, c1 uint64, keys, out []uint64) {
+	evalPoly2SmallGo(c0, c1, r.m, r.rec, keys, out)
+}

@@ -1,0 +1,50 @@
+package intmath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEvalPoly2x4MatchesEvalPoly2 pins the four-seed blocked kernel to four
+// independent EvalPoly2 sweeps on every boundary modulus, with dirty output
+// buffers and ragged lengths that leave a non-multiple-of-4 tail for the
+// vector path.
+func TestEvalPoly2x4MatchesEvalPoly2(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, m := range reducerModuli {
+		r := NewReducer(m)
+		for _, n := range []int{0, 1, 3, 4, 7, 64, 257} {
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = rng.Uint64() % m
+			}
+			if n > 1 {
+				keys[0], keys[n-1] = 0, m-1
+			}
+			var c0, c1 [4]uint64
+			for s := 0; s < 4; s++ {
+				c0[s] = rng.Uint64() % m
+				c1[s] = rng.Uint64() % m
+			}
+			got := make([][]uint64, 4)
+			want := make([][]uint64, 4)
+			for s := 0; s < 4; s++ {
+				got[s] = make([]uint64, n)
+				want[s] = make([]uint64, n)
+				for i := 0; i < n; i++ {
+					got[s][i] = ^uint64(0) // dirty: every slot must be rewritten
+				}
+				r.EvalPoly2(c0[s], c1[s], keys, want[s])
+			}
+			r.EvalPoly2x4(&c0, &c1, keys, got[0], got[1], got[2], got[3])
+			for s := 0; s < 4; s++ {
+				for i := 0; i < n; i++ {
+					if got[s][i] != want[s][i] {
+						t.Fatalf("m=%d n=%d seed %d key %d: EvalPoly2x4 = %d, EvalPoly2 = %d",
+							m, n, s, i, got[s][i], want[s][i])
+					}
+				}
+			}
+		}
+	}
+}

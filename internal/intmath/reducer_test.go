@@ -136,6 +136,17 @@ func FuzzReducer(f *testing.F) {
 		if got, want := r.Mod(a+b), (a+b)%m; a+b >= a && got != want {
 			t.Fatalf("m=%d: Mod(%d) = %d, want %d", m, a+b, got, want)
 		}
+		// EvalPoly2 with c0 = a, c1 = b over keys derived from the inputs:
+		// covers whichever of the three regimes (small Barrett, Montgomery
+		// medium, wide Möller–Granlund) m selects.
+		keys := []uint64{0, a, b, m - 1, (a ^ b) % m, (a + b) % m}
+		out := make([]uint64, len(keys))
+		r.EvalPoly2(a, b, keys, out)
+		for i, x := range keys {
+			if want := AddMod(MulMod(b, x, m), a, m); out[i] != want {
+				t.Fatalf("m=%d: EvalPoly2 c0=%d c1=%d key %d = %d, want %d", m, a, b, x, out[i], want)
+			}
+		}
 	})
 }
 

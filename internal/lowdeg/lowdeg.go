@@ -140,6 +140,7 @@ type lowdegEval struct {
 	r      []graph.NodeID // the touched set I_h ∪ N(I_h), rebuilt per eval
 	remove []bool         // scalar reference path: removedEdgesMasked's mask
 	z      []uint64       // kernel path: EvalKeys output over the live colour keys
+	tile   scratch.Tile   // blocked path: one z row per seed of a BlockSeeds group
 	seed   []uint64
 	zf     func(graph.NodeID) uint64
 }
@@ -307,15 +308,31 @@ loop:
 			// removal), so the plan costs O(|alive|), not O(n).
 			sel.InitList(n, liveList, colorKeyOf, fam.P()-1)
 			objective := func(seeds [][]uint64, values []int64) {
-				spare := condexp.SpareWorkers(p.Workers(), len(seeds))
-				parallel.ForEach(p.Workers(), len(seeds), func(i int) {
-					ev := evalPool.Get()
-					ev.ih = localMin(ev, ev.ih, curG, seeds[i], spare)
-					if p.ScalarObjectives {
+				if p.ScalarObjectives {
+					spare := condexp.SpareWorkers(p.Workers(), len(seeds))
+					parallel.ForEach(p.Workers(), len(seeds), func(i int) {
+						ev := evalPool.Get()
+						ev.ih = localMin(ev, ev.ih, curG, seeds[i], spare)
 						// The retained full-scan reference: walks all of cur.
 						values[i] = int64(removedEdgesMasked(curG, ev.ih, ev.remove))
-					} else {
-						values[i] = int64(incidentEdges(curG, ev.ih, ev))
+						evalPool.Put(ev)
+					})
+					return
+				}
+				// Blocked kernel path: each group of BlockSeeds candidates
+				// makes ONE block-major pass over the phase's live colour
+				// keys (byte-identical to per-seed EvalKeys) into the
+				// worker's tile, then runs the plan-based selection and the
+				// incident-count objective per row. Group boundaries depend
+				// only on the batch length and each group writes only its
+				// own value slots, so results are worker-count independent.
+				condexp.ForEachSeedBlock(p.Workers(), len(seeds), func(lo, hi int) {
+					ev := evalPool.Get()
+					tile := ev.tile.Rows(hi-lo, len(sel.Keys()))
+					evaluator.EvalSeedsBlocked(seeds[lo:hi], sel.Keys(), tile)
+					for s := lo; s < hi; s++ {
+						ev.ih = core.LocalMinNodesSel(ev.ih, curG, sel, tile[s-lo])
+						values[s] = int64(incidentEdges(curG, ev.ih, ev))
 					}
 					evalPool.Put(ev)
 				})

@@ -41,7 +41,10 @@ func MIS(g *graph.Graph, src *detrand.Source) *MISResult { return MISW(g, src, 0
 // host workers (0 = GOMAXPROCS, 1 = serial). The z draws stay serial in id
 // order (they consume the deterministic source) and the candidate selection
 // runs through the serial z-vector kernel (core.LocalMinNodesZ), so the
-// output is identical at any worker count.
+// output is identical at any worker count. Draws come from the selection
+// kernels' hash field [p) — the same range the derandomized solvers hash
+// into — so the selection takes the packed single-word (z,id) fast path
+// instead of the compare-two-words fallback that full 64-bit draws force.
 func MISW(g *graph.Graph, src *detrand.Source, workers int) *MISResult {
 	return MISIn(scratch.New(), g, src, workers, nil)
 }
@@ -69,6 +72,12 @@ func MISIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source, workers int
 		alive[v] = true
 	}
 	inMIS := make([]bool, n)
+	// Draw z values from the pairwise selection field [p), like the
+	// derandomized solver's hashes, rather than full 64-bit words: bounded
+	// draws let LocalMinNodesZ pack (z, id) into single words and take its
+	// branch-free fast path. Dead slots stay zero (below p), which is fine —
+	// the alive mask excludes them from selection entirely.
+	p := core.PairwiseFamily(n).P()
 
 	for round := 1; ; round++ {
 		if done != nil && done() {
@@ -88,7 +97,7 @@ func MISIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source, workers int
 		z := sc.Uint64s(n)
 		for v := 0; v < n; v++ {
 			if alive[v] {
-				z[v] = src.Uint64()
+				z[v] = src.Uint64n(p)
 			}
 		}
 		ih := core.LocalMinNodesZ(sc.NodeIDsCap(n), cur, alive, z)
@@ -149,8 +158,11 @@ func MaximalMatchingW(g *graph.Graph, src *detrand.Source, workers int) *Matchin
 // vector and masks from sc and ping-ponging the shrinking graph between
 // sc's two loop CSR buffers. The per-round z values live in a vector
 // parallel to the canonical edge list (drawn in edge order, exactly as the
-// old per-edge map was filled) and winners come from the same two-pass
-// local-minimum kernel the derandomized solvers use (core.LocalMinEdgesZ),
+// old per-edge map was filled) from the pairwise selection field [p) — the
+// bounded draws let LocalMinEdgesZ pack (z, edge-key) into single words and
+// take its branch-free fast path, as in MISIn — and winners come from the
+// same two-pass local-minimum kernel the derandomized solvers use
+// (core.LocalMinEdgesZ),
 // which replaced a per-round hash map — the selection compares (z, edge
 // key) pairs identically, so outputs are unchanged. The output is identical
 // to MaximalMatchingW for any prior state of sc and any worker count; sc is
@@ -164,6 +176,9 @@ func MaximalMatchingIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source,
 	// array and generation counter must stay paired), so it is drawn from
 	// the Context's persistent slot rather than checked out per round.
 	lm := sc.EdgeMin()
+	// Selection-field draws, as in MISIn: below p the packed edge path of
+	// LocalMinEdgesZ applies whenever the id width allows it.
+	p := core.PairwiseFamily(n).P()
 	for round := 1; cur.M() > 0; round++ {
 		if done != nil && done() {
 			res.Canceled = true
@@ -173,7 +188,7 @@ func MaximalMatchingIn(sc *scratch.Context, g *graph.Graph, src *detrand.Source,
 		edges := cur.EdgesAppend(sc.EdgesCap(cur.M()))
 		z := sc.Uint64s(len(edges))
 		for i := range edges {
-			z[i] = src.Uint64()
+			z[i] = src.Uint64n(p)
 		}
 		picked := core.LocalMinEdgesZ(lm, cur, edges, z)
 		matched := sc.Bools(n)

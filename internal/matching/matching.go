@@ -58,7 +58,8 @@ type IterStats struct {
 // z-closure reading the current seed through the seed field.
 type mmEval struct {
 	lm   core.EdgeMinScratch
-	z    []uint64 // kernel path: EvalKeys output over the round's key vector
+	z    []uint64     // kernel path: EvalKeys output over the round's key vector
+	tile scratch.Tile // blocked path: one z row per seed of a BlockSeeds group
 	seed []uint64
 	zf   func(graph.Edge) uint64
 }
@@ -186,10 +187,28 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 			return ev, core.LocalMinEdgesSel(&ev.lm, &sel, evaluator.EvalKeysW(seed, keys, ev.z, workers))
 		}
 		objective := func(seeds [][]uint64, values []int64) {
-			spare := condexp.SpareWorkers(p.Workers(), len(seeds))
-			parallel.ForEach(p.Workers(), len(seeds), func(i int) {
-				ev, eh := evalSeed(seeds[i], spare)
-				values[i] = value(eh)
+			if p.ScalarObjectives {
+				spare := condexp.SpareWorkers(p.Workers(), len(seeds))
+				parallel.ForEach(p.Workers(), len(seeds), func(i int) {
+					ev, eh := evalSeed(seeds[i], spare)
+					values[i] = value(eh)
+					lmPool.Put(ev)
+				})
+				return
+			}
+			// Blocked kernel path: each group of BlockSeeds candidates makes
+			// ONE block-major pass over the round's key vector (byte-identical
+			// to per-seed EvalKeys) into the worker's tile, then runs the
+			// touched-set selection scan per row. Group boundaries depend only
+			// on the batch length, and each group writes only its own seeds'
+			// value slots, so results are worker-count independent.
+			condexp.ForEachSeedBlock(p.Workers(), len(seeds), func(lo, hi int) {
+				ev := lmPool.Get()
+				tile := ev.tile.Rows(hi-lo, len(keys))
+				evaluator.EvalSeedsBlocked(seeds[lo:hi], keys, tile)
+				for s := lo; s < hi; s++ {
+					values[s] = value(core.LocalMinEdgesSel(&ev.lm, &sel, tile[s-lo]))
+				}
 				lmPool.Put(ev)
 			})
 		}

@@ -78,7 +78,8 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 type misEval struct {
 	inIh []bool
 	ih   []graph.NodeID
-	z    []uint64 // kernel path: EvalKeys output over the node key vector
+	z    []uint64     // kernel path: EvalKeys output over the node key vector
+	tile scratch.Tile // blocked path: one z row per seed of a BlockSeeds group
 	seed []uint64
 	zf   func(graph.NodeID) uint64
 }
@@ -228,31 +229,55 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 		// sparsifier already produced Q' as an ascending list, so the plan is
 		// built from it directly — no second O(n) mask scan per round.
 		sel.InitList(n, sp.QList, slotKeyOf, fam.P()-1)
-		objective := func(seeds [][]uint64, values []int64) {
-			spare := condexp.SpareWorkers(p.Workers(), len(seeds))
-			parallel.ForEach(p.Workers(), len(seeds), func(i int) {
-				ev := evalPool.Get()
-				ih := localMin(ev, ev.ih, q, sp.Q, seeds[i], spare)
-				ev.ih = ih
-				for _, v := range ih {
-					ev.inIh[v] = true
-				}
-				var value int64
-				for t := range nvOwner {
-					for _, u := range nvFlat[nvStart[t]:nvStart[t+1]] {
-						if ev.inIh[u] {
-							value += int64(deg[nvOwner[t]])
-							break
-						}
+		// score computes the round objective for one I_h through the pooled
+		// membership mask, resetting only the touched entries afterwards so
+		// the buffer is clean for the next evaluation at O(|I_h|) cost.
+		score := func(ev *misEval, ih []graph.NodeID) int64 {
+			for _, v := range ih {
+				ev.inIh[v] = true
+			}
+			var value int64
+			for t := range nvOwner {
+				for _, u := range nvFlat[nvStart[t]:nvStart[t+1]] {
+					if ev.inIh[u] {
+						value += int64(deg[nvOwner[t]])
+						break
 					}
 				}
-				// Reset only the touched mask entries so the pooled buffer is
-				// clean for the next evaluation at O(|I_h|) cost.
-				for _, v := range ih {
-					ev.inIh[v] = false
+			}
+			for _, v := range ih {
+				ev.inIh[v] = false
+			}
+			return value
+		}
+		objective := func(seeds [][]uint64, values []int64) {
+			if p.ScalarObjectives {
+				spare := condexp.SpareWorkers(p.Workers(), len(seeds))
+				parallel.ForEach(p.Workers(), len(seeds), func(i int) {
+					ev := evalPool.Get()
+					ih := localMin(ev, ev.ih, q, sp.Q, seeds[i], spare)
+					ev.ih = ih
+					values[i] = score(ev, ih)
+					evalPool.Put(ev)
+				})
+				return
+			}
+			// Blocked kernel path: each group of BlockSeeds candidates makes
+			// ONE block-major pass over the round's |Q'| node keys
+			// (byte-identical to per-seed EvalKeys) into the worker's tile,
+			// then runs the plan-based selection per row. Group boundaries
+			// depend only on the batch length and each group writes only its
+			// own value slots, so results are worker-count independent.
+			condexp.ForEachSeedBlock(p.Workers(), len(seeds), func(lo, hi int) {
+				ev := evalPool.Get()
+				tile := ev.tile.Rows(hi-lo, len(sel.Keys()))
+				evaluator.EvalSeedsBlocked(seeds[lo:hi], sel.Keys(), tile)
+				for s := lo; s < hi; s++ {
+					ih := core.LocalMinNodesSel(ev.ih, q, sel, tile[s-lo])
+					ev.ih = ih
+					values[s] = score(ev, ih)
 				}
 				evalPool.Put(ev)
-				values[i] = value
 			})
 		}
 		// Lemma 21 ⇒ E[Σ_{v∈N_h} d(v)] >= 0.01δ·Σ_{v∈B} d(v).

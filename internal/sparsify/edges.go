@@ -225,16 +225,15 @@ func runEdgeStage(sc *scratch.Context, g, curG *graph.Graph, cur []graph.Edge, b
 	}
 	model.ChargeSort("sparsify.distribute") // spread incident edges over machines
 
-	// Goodness objective: number of good groups under the seed. The kernel
-	// path evaluates each candidate seed over the flattened key vector in
-	// one EvalKeys pass into a per-worker pooled z buffer; the scalar
+	// Goodness objective: number of good groups under the seed. The blocked
+	// kernel path evaluates each BlockSeeds group of candidates block-major
+	// over the flattened key vector (one cache-resident pass, byte-identical
+	// to per-seed EvalKeys) into a per-worker pooled tile; the scalar
 	// reference path calls fam.Eval once per key. Every slot is rewritten
-	// per evaluation, so pooled reuse is unobservable either way.
+	// per evaluation, so pooled reuse is unobservable either way. Single-seed
+	// evaluations (the apply-path recount) use row 0 of the same tile.
 	evaluator := hashfam.NewEvaluator(fam)
-	zPool := scratch.NewPerWorker(func() *[]uint64 {
-		buf := make([]uint64, len(keys))
-		return &buf
-	})
+	tilePool := scratch.NewPerWorker(func() *scratch.Tile { return new(scratch.Tile) })
 	countGood := func(z []uint64) int64 {
 		var good int64
 		for _, gr := range groups {
@@ -254,8 +253,8 @@ func runEdgeStage(sc *scratch.Context, g, curG *graph.Graph, cur []graph.Edge, b
 		return good
 	}
 	goodGroups := func(seed []uint64, workers int) int64 {
-		zp := zPool.Get()
-		z := (*zp)[:len(keys)]
+		tp := tilePool.Get()
+		z := tp.Rows(1, len(keys))[0]
 		if p.ScalarObjectives {
 			for t, k := range keys {
 				z[t] = fam.Eval(seed, k)
@@ -264,13 +263,29 @@ func runEdgeStage(sc *scratch.Context, g, curG *graph.Graph, cur []graph.Edge, b
 			evaluator.EvalKeysW(seed, keys, z, workers)
 		}
 		good := countGood(z)
-		zPool.Put(zp)
+		tilePool.Put(tp)
 		return good
 	}
 	objective := func(seeds [][]uint64, values []int64) {
-		spare := condexp.SpareWorkers(p.Workers(), len(seeds))
-		parallel.ForEach(p.Workers(), len(seeds), func(i int) {
-			values[i] = goodGroups(seeds[i], spare)
+		if p.ScalarObjectives {
+			spare := condexp.SpareWorkers(p.Workers(), len(seeds))
+			parallel.ForEach(p.Workers(), len(seeds), func(i int) {
+				values[i] = goodGroups(seeds[i], spare)
+			})
+			return
+		}
+		// Blocked kernel path: one block-major pass per seed group, then the
+		// goodness count per tile row. Group boundaries depend only on the
+		// batch length and each group writes only its own value slots, so
+		// results are worker-count independent.
+		condexp.ForEachSeedBlock(p.Workers(), len(seeds), func(lo, hi int) {
+			tp := tilePool.Get()
+			tile := tp.Rows(hi-lo, len(keys))
+			evaluator.EvalSeedsBlocked(seeds[lo:hi], keys, tile)
+			for s := lo; s < hi; s++ {
+				values[s] = countGood(tile[s-lo])
+			}
+			tilePool.Put(tp)
 		})
 	}
 

@@ -222,15 +222,14 @@ func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
 	// Bellare-Rompel application (variables Z_u = n^{(i-1)δ}/d(u)).
 	devB := math.Pow(float64(n), (0.9-float64(i))/float64(dc.K))
 
-	// Goodness objective through the kernel: one EvalKeys pass over the
-	// flattened key vector into a per-worker pooled z buffer per candidate
-	// seed (the scalar reference path calls fam.Eval once per key). Every
-	// slot is rewritten per evaluation, so pooled reuse is unobservable.
+	// Goodness objective through the blocked kernel: each BlockSeeds group
+	// of candidates makes one block-major pass over the flattened key vector
+	// (byte-identical to per-seed EvalKeys) into a per-worker pooled tile;
+	// the scalar reference path calls fam.Eval once per key. Every slot is
+	// rewritten per evaluation, so pooled reuse is unobservable. Single-seed
+	// evaluations (the apply-path recount) use row 0 of the same tile.
 	evaluator := hashfam.NewEvaluator(fam)
-	zPool := scratch.NewPerWorker(func() *[]uint64 {
-		buf := make([]uint64, len(keys))
-		return &buf
-	})
+	tilePool := scratch.NewPerWorker(func() *scratch.Tile { return new(scratch.Tile) })
 	countGood := func(z []uint64) int64 {
 		var good int64
 		for _, gr := range groups {
@@ -264,8 +263,8 @@ func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
 		return good
 	}
 	goodGroups := func(seed []uint64, workers int) int64 {
-		zp := zPool.Get()
-		z := (*zp)[:len(keys)]
+		tp := tilePool.Get()
+		z := tp.Rows(1, len(keys))[0]
 		if p.ScalarObjectives {
 			for t, k := range keys {
 				z[t] = fam.Eval(seed, k)
@@ -274,13 +273,29 @@ func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
 			evaluator.EvalKeysW(seed, keys, z, workers)
 		}
 		good := countGood(z)
-		zPool.Put(zp)
+		tilePool.Put(tp)
 		return good
 	}
 	objective := func(seeds [][]uint64, values []int64) {
-		spare := condexp.SpareWorkers(p.Workers(), len(seeds))
-		parallel.ForEach(p.Workers(), len(seeds), func(i int) {
-			values[i] = goodGroups(seeds[i], spare)
+		if p.ScalarObjectives {
+			spare := condexp.SpareWorkers(p.Workers(), len(seeds))
+			parallel.ForEach(p.Workers(), len(seeds), func(i int) {
+				values[i] = goodGroups(seeds[i], spare)
+			})
+			return
+		}
+		// Blocked kernel path: one block-major pass per seed group, then the
+		// goodness count per tile row. Group boundaries depend only on the
+		// batch length and each group writes only its own value slots, so
+		// results are worker-count independent.
+		condexp.ForEachSeedBlock(p.Workers(), len(seeds), func(lo, hi int) {
+			tp := tilePool.Get()
+			tile := tp.Rows(hi-lo, len(keys))
+			evaluator.EvalSeedsBlocked(seeds[lo:hi], keys, tile)
+			for s := lo; s < hi; s++ {
+				values[s] = countGood(tile[s-lo])
+			}
+			tilePool.Put(tp)
 		})
 	}
 

@@ -265,6 +265,125 @@ func TestHashKernelMatchesScalarPath(t *testing.T) {
 	}
 }
 
+// TestBlockedKernelMatchesScalarPath pins the block-major seed evaluation:
+// the production batch objectives now walk BlockSeeds-sized seed groups
+// through hashfam.Evaluator.EvalSeedsBlocked (S seeds per cache-resident key
+// block, AVX2 inner loop where the host has it), and this table proves that
+// restructuring moved no bits. Both strategies run at Parallelism ∈ {1, 2,
+// 8} and are compared against the retained per-item closure path
+// (core.Params.ScalarObjectives) — not just the output sets but the full
+// seed-search trajectory (seeds tried, objective values), so a divergence
+// inside any single candidate evaluation is caught even when the argmax
+// happens to agree. Workload sizes are chosen so seed batches end in ragged
+// tails (batch length not a multiple of condexp.BlockSeeds) and key vectors
+// straddle block boundaries.
+func TestBlockedKernelMatchesScalarPath(t *testing.T) {
+	for _, w := range []struct {
+		family string
+		n      int
+		avgDeg int
+		seed   uint64
+	}{
+		{"gnm", 600, 9, 11},
+		{"powerlaw", 520, 7, 13},
+		{"regular", 450, 6, 17},
+		{"grid", 529, 4, 19},
+	} {
+		for _, strat := range []Strategy{StrategySparsify, StrategyLowDegree} {
+			t.Run(fmt.Sprintf("%s/n=%d/%s", w.family, w.n, strat), func(t *testing.T) {
+				g, err := Generate(w.family, w.n, w.avgDeg, w.seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scalar := core.DefaultParams()
+				scalar.Parallelism = 1
+				scalar.ScalarObjectives = true
+				type trace struct {
+					seedsTried int
+					objective  int64
+				}
+				var refMM []graph.Edge
+				var refIS []graph.NodeID
+				var refTr []trace
+				if strat == StrategySparsify {
+					mm := matching.Deterministic(g, scalar, nil)
+					is := mis.Deterministic(g, scalar, nil)
+					refMM, refIS = mm.Matching, is.IndependentSet
+					for _, it := range mm.Iterations {
+						refTr = append(refTr, trace{it.SeedsTried, it.ObjectiveValue})
+					}
+					for _, it := range is.Iterations {
+						refTr = append(refTr, trace{it.SeedsTried, it.ObjectiveValue})
+					}
+				} else {
+					mm := lowdeg.MaximalMatching(g, scalar, nil)
+					is := lowdeg.MIS(g, scalar, nil)
+					refMM, refIS = mm.Matching, is.IndependentSet
+					for _, ph := range mm.MIS.Phases {
+						refTr = append(refTr, trace{ph.SeedsTried, 0})
+					}
+					for _, ph := range is.Phases {
+						refTr = append(refTr, trace{ph.SeedsTried, 0})
+					}
+				}
+				for _, par := range parallelismLevels {
+					blocked := core.DefaultParams()
+					blocked.Parallelism = par
+					var mm []graph.Edge
+					var is []graph.NodeID
+					var tr []trace
+					if strat == StrategySparsify {
+						m := matching.Deterministic(g, blocked, nil)
+						i := mis.Deterministic(g, blocked, nil)
+						mm, is = m.Matching, i.IndependentSet
+						for _, it := range m.Iterations {
+							tr = append(tr, trace{it.SeedsTried, it.ObjectiveValue})
+						}
+						for _, it := range i.Iterations {
+							tr = append(tr, trace{it.SeedsTried, it.ObjectiveValue})
+						}
+					} else {
+						m := lowdeg.MaximalMatching(g, blocked, nil)
+						i := lowdeg.MIS(g, blocked, nil)
+						mm, is = m.Matching, i.IndependentSet
+						for _, ph := range m.MIS.Phases {
+							tr = append(tr, trace{ph.SeedsTried, 0})
+						}
+						for _, ph := range i.Phases {
+							tr = append(tr, trace{ph.SeedsTried, 0})
+						}
+					}
+					if len(tr) != len(refTr) {
+						t.Fatalf("Parallelism=%d: %d searches, scalar path %d", par, len(tr), len(refTr))
+					}
+					for i := range tr {
+						if tr[i] != refTr[i] {
+							t.Fatalf("Parallelism=%d: search %d tried %d seeds (objective %d), scalar path %d (%d)",
+								par, i, tr[i].seedsTried, tr[i].objective, refTr[i].seedsTried, refTr[i].objective)
+						}
+					}
+					if len(mm) != len(refMM) {
+						t.Fatalf("Parallelism=%d: blocked matching has %d edges, scalar path %d", par, len(mm), len(refMM))
+					}
+					for i := range mm {
+						if mm[i] != refMM[i] {
+							t.Fatalf("Parallelism=%d: matching edge %d is %v, scalar path %v", par, i, mm[i], refMM[i])
+						}
+					}
+					if len(is) != len(refIS) {
+						t.Fatalf("Parallelism=%d: blocked MIS has %d nodes, scalar path %d", par, len(is), len(refIS))
+					}
+					for i := range is {
+						if is[i] != refIS[i] {
+							t.Fatalf("Parallelism=%d: MIS node %d is %d, scalar path %d", par, i, is[i], refIS[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestLowDegObjectiveKernelVsScalar pins the incident-count reformulation
 // of the Section 5 seed-search objective: the kernel path scores a
 // candidate seed as Σ_{w∈R} d(w) minus the R-internal edge correction over

@@ -90,9 +90,15 @@ func (pg *PreparedGraph) MaximalIndependentSet(opts ...SolveOption) (*MISResult,
 // alias two distinct graphs: the colliding graph gets a private, uncached
 // handle instead.
 //
-// The cache holds prepared graphs until DropPrepared releases them; a
-// serving layer that accepts unbounded uploads should evict by its own
-// policy. Prepare is safe for concurrent use with itself and with solves.
+// The cache is bounded by Options.PreparedCacheCap (default
+// DefaultPreparedCacheCap, negative for unbounded): when an insert would
+// exceed the cap, the least-recently-touched entry — oldest by
+// Prepare/Prepared access — is evicted to make room, so an unbounded upload
+// storm cannot grow the engine without limit. Eviction forgets only the
+// shared handle: outstanding handles stay valid, and re-preparing evicted
+// content produces a bit-identical cache entry from the new parse.
+// DropPrepared remains the manual eviction path. Prepare is safe for
+// concurrent use with itself and with solves.
 func (e *Engine) Prepare(g *Graph) (*PreparedGraph, error) {
 	if g == nil {
 		return nil, ErrNilGraph
@@ -102,6 +108,7 @@ func (e *Engine) Prepare(g *Graph) (*PreparedGraph, error) {
 	defer e.mu.Unlock()
 	if pg, ok := e.prepared[fp]; ok {
 		if pg.g.Same(g) {
+			e.touchPrepared(fp)
 			return pg, nil
 		}
 		// True 64-bit collision: never share the cached CSR with a
@@ -111,17 +118,74 @@ func (e *Engine) Prepare(g *Graph) (*PreparedGraph, error) {
 	pg := &PreparedGraph{eng: e, g: g, fp: fp}
 	if e.prepared == nil {
 		e.prepared = make(map[Fingerprint]*PreparedGraph)
+		e.preparedAge = make(map[Fingerprint]uint64)
+	}
+	if cap := e.preparedCap(); cap >= 0 {
+		for len(e.prepared) >= cap {
+			if !e.evictOldestPrepared() {
+				break
+			}
+		}
 	}
 	e.prepared[fp] = pg
+	e.touchPrepared(fp)
 	return pg, nil
 }
 
+// preparedCap resolves Options.PreparedCacheCap: 0 → default, negative →
+// unbounded (reported as -1), and a floor of 1 so a tiny positive cap still
+// caches the newest entry.
+func (e *Engine) preparedCap() int {
+	c := e.opts.PreparedCacheCap
+	switch {
+	case c < 0:
+		return -1
+	case c == 0:
+		return DefaultPreparedCacheCap
+	default:
+		return c
+	}
+}
+
+// touchPrepared stamps fp with the next age tick. Caller holds e.mu.
+func (e *Engine) touchPrepared(fp Fingerprint) {
+	e.preparedTick++
+	e.preparedAge[fp] = e.preparedTick
+}
+
+// evictOldestPrepared removes the entry with the smallest age tick,
+// reporting whether one existed. The map scan is O(cache size), which the
+// cap itself keeps small — no heap needed. Caller holds e.mu.
+func (e *Engine) evictOldestPrepared() bool {
+	var (
+		oldest Fingerprint
+		best   uint64
+		found  bool
+	)
+	for fp, age := range e.preparedAge {
+		if !found || age < best {
+			oldest, best, found = fp, age, true
+		}
+	}
+	if !found {
+		return false
+	}
+	delete(e.prepared, oldest)
+	delete(e.preparedAge, oldest)
+	return true
+}
+
 // Prepared returns the cached handle for fp, if any. It is the lookup a
-// serving layer uses to resolve solve-by-fingerprint requests.
+// serving layer uses to resolve solve-by-fingerprint requests; a hit
+// refreshes the entry's LRU age, so graphs that keep serving traffic are
+// the last to be evicted.
 func (e *Engine) Prepared(fp Fingerprint) (*PreparedGraph, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	pg, ok := e.prepared[fp]
+	if ok {
+		e.touchPrepared(fp)
+	}
 	return pg, ok
 }
 
@@ -135,6 +199,7 @@ func (e *Engine) DropPrepared(fp Fingerprint) bool {
 		return false
 	}
 	delete(e.prepared, fp)
+	delete(e.preparedAge, fp)
 	return true
 }
 

@@ -80,6 +80,111 @@ func TestPrepareDedup(t *testing.T) {
 	}
 }
 
+// TestPreparedCacheLRU: an over-cap upload storm evicts the least recently
+// touched entries first, lookups refresh LRU age, and re-uploading evicted
+// content re-prepares a handle whose solves are bit-identical to the
+// original's. DropPrepared stays the manual path regardless of the cap.
+func TestPreparedCacheLRU(t *testing.T) {
+	const cap = 4
+	eng := NewEngine(&Options{PreparedCacheCap: cap, Parallelism: 1})
+	graphs := make([]*Graph, 10)
+	handles := make([]*PreparedGraph, 10)
+	for i := range graphs {
+		g, err := Generate("gnm", 64, 4, uint64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs[i] = g
+	}
+	// Baseline solve through the first handle, taken before it is evicted.
+	for i := 0; i < cap; i++ {
+		pg, err := eng.Prepare(graphs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = pg
+	}
+	want, err := handles[0].MaximalMatching()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch entry 0 via lookup, then storm past the cap: entry 0 must
+	// survive longer than the untouched 1..3, and the count stays pinned.
+	if _, ok := eng.Prepared(handles[0].Fingerprint()); !ok {
+		t.Fatal("Prepared lookup missed a cached handle")
+	}
+	for i := cap; i < cap+2; i++ {
+		pg, err := eng.Prepare(graphs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = pg
+	}
+	if got := eng.PreparedCount(); got != cap {
+		t.Fatalf("PreparedCount after storm = %d, want cap %d", got, cap)
+	}
+	if _, ok := eng.Prepared(handles[1].Fingerprint()); ok {
+		t.Fatal("oldest untouched entry survived an over-cap insert")
+	}
+	if _, ok := eng.Prepared(handles[2].Fingerprint()); ok {
+		t.Fatal("second-oldest untouched entry survived an over-cap insert")
+	}
+	if got, ok := eng.Prepared(handles[0].Fingerprint()); !ok || got != handles[0] {
+		t.Fatal("recently touched entry was evicted before older ones")
+	}
+	// Storm the rest: everything early is gone, count still pinned.
+	for i := cap + 2; i < len(graphs); i++ {
+		if _, err := eng.Prepare(graphs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.PreparedCount(); got != cap {
+		t.Fatalf("PreparedCount after full storm = %d, want cap %d", got, cap)
+	}
+	if _, ok := eng.Prepared(handles[0].Fingerprint()); ok {
+		t.Fatal("entry 0 survived a storm that exceeded the cap after its last touch")
+	}
+	// The evicted outstanding handle still solves, and re-uploading the same
+	// content re-prepares a fresh handle with bit-identical results.
+	if _, err := handles[0].MaximalMatching(); err != nil {
+		t.Fatalf("evicted handle failed to solve: %v", err)
+	}
+	again, err := eng.Prepare(graphs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again == handles[0] {
+		t.Fatal("re-upload after eviction returned the forgotten handle (stale cache entry)")
+	}
+	got, err := again.MaximalMatching()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Edges) != len(want.Edges) {
+		t.Fatalf("re-prepared solve drifted: %d edges, want %d", len(got.Edges), len(want.Edges))
+	}
+	for i := range got.Edges {
+		if got.Edges[i] != want.Edges[i] {
+			t.Fatalf("re-prepared solve drifted at edge %d: %v != %v", i, got.Edges[i], want.Edges[i])
+		}
+	}
+	// Manual eviction still works under the cap.
+	if !eng.DropPrepared(again.Fingerprint()) {
+		t.Fatal("DropPrepared missed the re-prepared fingerprint")
+	}
+
+	// Unbounded cache: negative cap never evicts.
+	unbounded := NewEngine(&Options{PreparedCacheCap: -1, Parallelism: 1})
+	for i := range graphs {
+		if _, err := unbounded.Prepare(graphs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := unbounded.PreparedCount(); got != len(graphs) {
+		t.Fatalf("unbounded PreparedCount = %d, want %d", got, len(graphs))
+	}
+}
+
 // TestFingerprintRoundTrip pins the wire form: String and ParseFingerprint
 // invert each other, and FingerprintOf matches what Prepare caches under.
 func TestFingerprintRoundTrip(t *testing.T) {
