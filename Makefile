@@ -17,11 +17,15 @@ BENCH_DATE := $(shell date +%F)
 # the bare date and silently pick a stale baseline).
 BENCH_BASELINE ?= $(shell ls BENCH_2*.json 2>/dev/null | LC_ALL=C sort | tail -1)
 # Benchmarks whose ns/op regression beyond 20% draws a warning (never a
-# failure): the seed-search kernel, its isolated selection-scan and blocked
-# hash terms, and the warm-Engine reuse pairs.
-BENCH_WARN ?= BenchmarkT7_SeedSearch|BenchmarkT7_SelectionScan|BenchmarkEvalSeedsBlocked|BenchmarkEngineReuse
+# failure): the seed-search kernel, its isolated edge- and node-side
+# selection scans and blocked hash term, and the warm-Engine reuse pairs.
+BENCH_WARN ?= BenchmarkT7_SeedSearch|BenchmarkT7_SelectionScan|BenchmarkT7_NodeSelectionScan|BenchmarkLocalMinNodesSel|BenchmarkEvalSeedsBlocked|BenchmarkEngineReuse
+# Repetitions per benchmark for bench-smoke/bench-save: benchjson -median
+# collapses the runs into per-benchmark medians, so one noisy-runner outlier
+# out of three no longer reads as a regression in bench-compare.
+BENCH_COUNT ?= 3
 
-.PHONY: build build-cmds build-cross test race race-engine bench bench-smoke bench-save bench-compare serve-smoke fmt fmt-check vet ci
+.PHONY: build build-cmds build-cross test race race-engine bench bench-smoke bench-save bench-compare serve-smoke profile clean fmt fmt-check vet ci
 
 # serve-smoke knobs: where detservd listens and where loadgen writes its
 # latency quantiles (archived as a CI artifact next to $(BENCH_OUT)).
@@ -73,17 +77,19 @@ race:
 race-engine:
 	$(GO) test -race -timeout 30m -run 'TestEngineReuseWorkerCountIndependence|TestEngineConcurrentSolves|TestHashKernelMatchesScalarPath|TestBlockedKernelMatchesScalarPath|TestLowDegObjectiveKernelVsScalar|TestEvalKeysShardedMatchesSerial|TestEngineCancellationWorkerCountTable|TestEngineCancellationMidSolve|TestSolveOptionOverrideEquivalence|TestObserverDeterministicAcrossParallelism|TestObserverSeedBatchEvents|TestPreparedSolveEquivalence' .
 	$(GO) test -race -timeout 30m ./internal/serve/
+	$(GO) test -race -timeout 30m -run 'TestLocalMinEdgesSelBranchEquivalence|TestLocalMinNodesSelBranchEquivalence|TestNodeFoldBlockedScatter|TestEdgeFoldMatchesLocalMinEdgesSel|TestEvalSeedsBlockedFoldMatchesBlocked|TestEvalSeedsBlockedMatchesEvalKeys|FuzzLocalMinNodesFoldMatchesSel|FuzzEdgeFoldMatchesLocalMinEdgesSel|FuzzEvalSeedsBlockedFoldMatchesBlocked|FuzzEvalSeedsBlockedMatchesEvalKeys' ./internal/core/ ./internal/hashfam/
 
 # Full benchmark run (minutes); BENCH_PATTERN narrows it.
 bench:
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchmem -run '^$$' .
 
-# One iteration per benchmark: compiles and exercises every benchmark body,
-# emits $(BENCH_OUT) via cmd/benchjson. Runs with -benchmem so the archived
+# One iteration per benchmark, repeated BENCH_COUNT times and collapsed to
+# per-benchmark medians: compiles and exercises every benchmark body, emits
+# $(BENCH_OUT) via cmd/benchjson -median. Runs with -benchmem so the archived
 # JSON carries B/op + allocs/op and the allocation trajectory can be diffed
 # across commits alongside ns/op.
 bench-smoke:
-	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime 1x -count $(BENCH_COUNT) -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -median -o $(BENCH_OUT)
 
 # Archive a dated benchmark baseline at the repo root: the full suite through
 # cmd/benchjson into BENCH_<date>.json. Commit the file so the performance
@@ -99,7 +105,7 @@ bench-save:
 		echo "bench-save: remove it first, or rerun with BENCH_DATE=$(BENCH_DATE)a (a letter suffix keeps the name sorting after the original, so bench-compare picks it up)."; \
 		exit 1; \
 	fi
-	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH_$(BENCH_DATE).json
+	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -median -o BENCH_$(BENCH_DATE).json
 
 # End-to-end serving smoke: build detservd and loadgen, start the server,
 # drive a short mixed matching/MIS run at two concurrency levels, and write
@@ -126,6 +132,28 @@ bench-compare:
 	@if [ -z "$(BENCH_BASELINE)" ]; then echo "bench-compare: no committed BENCH_*.json baseline"; exit 1; fi
 	$(GO) run ./cmd/benchjson -input $(BENCH_OUT) -compare $(BENCH_BASELINE) -warn '$(BENCH_WARN)' -warn-pct 20
 
+# CPU profiles of the three selection-bound pipelines (T2 MIS, T5 lowdeg
+# stages, T7 seed-search terms) into the git-ignored profiles/ directory,
+# ready for `go tool pprof profiles/<name>.pprof`. CI archives the directory
+# as an artifact so a perf regression surfaced by bench-compare comes with
+# the profile that explains it. The test binary lands in profiles/ too (pprof
+# wants it for symbolization).
+profile:
+	mkdir -p profiles
+	$(GO) test -bench 'BenchmarkT2_MISRounds' -benchtime 3x -benchmem -run '^$$' -cpuprofile profiles/t2_mis.pprof -o profiles/repro.test .
+	$(GO) test -bench 'BenchmarkT5_LowDegreeStages' -benchtime 3x -benchmem -run '^$$' -cpuprofile profiles/t5_lowdeg.pprof -o profiles/repro.test .
+	$(GO) test -bench 'BenchmarkT7_SeedSearch|BenchmarkT7_SelectionScan|BenchmarkT7_NodeSelectionScan' -benchtime 100x -benchmem -run '^$$' -cpuprofile profiles/t7_seedsearch.pprof -o profiles/repro.test .
+
+# Remove build and smoke leftovers: stray compiled test binaries (go test -c
+# and aborted -cpuprofile runs drop *.test at the repo root), the serve-smoke
+# scratch binaries and pidfile, the uncommitted bench/loadgen result JSONs,
+# and the profiles/ directory. Committed BENCH_<date>.json baselines are
+# untouched. Runs as the `make ci` teardown; CI jobs upload their artifacts
+# from their own steps before this would matter.
+clean:
+	rm -f *.test .tmp-detservd .tmp-loadgen .tmp-detservd.pid $(BENCH_OUT) $(LOADGEN_OUT)
+	rm -rf profiles
+
 fmt:
 	gofmt -w .
 
@@ -135,4 +163,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build build-cmds build-cross vet fmt-check race race-engine bench-smoke serve-smoke
+ci: build build-cmds build-cross vet fmt-check race race-engine bench-smoke serve-smoke clean

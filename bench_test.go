@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/detrand"
 	"repro/internal/experiments"
+	"repro/internal/graph"
 	"repro/internal/graph/gen"
 	"repro/internal/hashfam"
 	"repro/internal/lowdeg"
@@ -221,6 +222,99 @@ func BenchmarkEvalSeedsBlocked(b *testing.B) {
 			evaluator.EvalSeedsBlocked(seeds[lo:hi], keys, rows)
 		}
 	}
+}
+
+// BenchmarkT7_NodeSelectionScan isolates the node-side selection term of the
+// seed searches (the scan the MIS and lowdeg objectives run per candidate
+// seed): 64 selections over a fixed live set and z vector on warm scratch,
+// through the production LocalMinNodesSelIn entry — which on this dense
+// round takes the NodeFold flat-table path (round-wiped tables, one-word
+// neighbour probes). bench-compare tracks it alongside
+// BenchmarkT7_SelectionScan so the node and edge scan disciplines are
+// attributable separately.
+func BenchmarkT7_NodeSelectionScan(b *testing.B) {
+	g := gen.GNM(1<<12, 8<<12, 1)
+	n := g.N()
+	fam := core.PairwiseFamily(n)
+	evaluator := hashfam.NewEvaluator(fam)
+	inQ := make([]bool, n)
+	for v := range inQ {
+		inQ[v] = true
+	}
+	var sel core.NodeSel
+	sel.Init(n, inQ, func(v graph.NodeID) uint64 { return core.SlotKey(uint64(v), 0, n) }, fam.P()-1)
+	if !sel.Dense() {
+		b.Fatal("workload unexpectedly not dense")
+	}
+	z := make([]uint64, len(sel.Keys()))
+	e := fam.Enumerate()
+	e.Next()
+	evaluator.EvalKeys(e.Seed(), sel.Keys(), z)
+	var nf core.NodeFold
+	var dst []graph.NodeID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for count := 0; count < 64; count++ {
+			dst = core.LocalMinNodesSelIn(&nf, dst, g, &sel, z)
+		}
+	}
+}
+
+// BenchmarkLocalMinNodesSel times one selection pass per discipline on the
+// T7 workload: Dense runs the NodeFold flat-table path over a fully live
+// round, Sparse the epoch-stamped scan over a 1/8-density live set (below
+// the Dense gate), both through the production LocalMinNodesSelIn dispatch.
+// DenseStamped forces the SAME fully-live round through the epoch-stamped
+// LocalMinNodesSel entry, so the flat-table rebuild's speedup on dense
+// rounds (Dense vs DenseStamped) stays measured in every saved baseline.
+func BenchmarkLocalMinNodesSel(b *testing.B) {
+	g := gen.GNM(1<<12, 8<<12, 1)
+	n := g.N()
+	fam := core.PairwiseFamily(n)
+	evaluator := hashfam.NewEvaluator(fam)
+	run := func(b *testing.B, keep func(v int) bool, wantDense bool) {
+		inQ := make([]bool, n)
+		for v := range inQ {
+			inQ[v] = keep(v)
+		}
+		var sel core.NodeSel
+		sel.Init(n, inQ, func(v graph.NodeID) uint64 { return core.SlotKey(uint64(v), 0, n) }, fam.P()-1)
+		if sel.Dense() != wantDense {
+			b.Fatalf("Dense() = %v, want %v", sel.Dense(), wantDense)
+		}
+		z := make([]uint64, len(sel.Keys()))
+		e := fam.Enumerate()
+		e.Next()
+		evaluator.EvalKeys(e.Seed(), sel.Keys(), z)
+		var nf core.NodeFold
+		var dst []graph.NodeID
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = core.LocalMinNodesSelIn(&nf, dst, g, &sel, z)
+		}
+	}
+	b.Run("Dense", func(b *testing.B) { run(b, func(v int) bool { return true }, true) })
+	b.Run("Sparse", func(b *testing.B) { run(b, func(v int) bool { return v%8 == 0 }, false) })
+	b.Run("DenseStamped", func(b *testing.B) {
+		inQ := make([]bool, n)
+		for v := range inQ {
+			inQ[v] = true
+		}
+		var sel core.NodeSel
+		sel.Init(n, inQ, func(v graph.NodeID) uint64 { return core.SlotKey(uint64(v), 0, n) }, fam.P()-1)
+		z := make([]uint64, len(sel.Keys()))
+		e := fam.Enumerate()
+		e.Next()
+		evaluator.EvalKeys(e.Seed(), sel.Keys(), z)
+		var dst []graph.NodeID
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = core.LocalMinNodesSel(dst, g, &sel, z)
+		}
+	})
 }
 
 // BenchmarkT8_Lemma4Primitives times the message-level sample sort plus

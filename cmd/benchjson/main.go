@@ -36,6 +36,7 @@ import (
 	"math"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -73,6 +74,7 @@ func main() {
 		compare = flag.String("compare", "", "baseline JSON file: print per-benchmark ns/op and allocs/op deltas of the current results against it")
 		warnRe  = flag.String("warn", "", "with -compare: regexp of benchmark names that emit a warning when ns/op regresses by more than -warn-pct (never fails the run)")
 		warnPct = flag.Float64("warn-pct", 20, "with -compare: ns/op regression threshold in percent for -warn")
+		median  = flag.Bool("median", false, "collapse repeated benchmark names (go test -count=N runs) into one result per name holding the per-metric medians")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -90,6 +92,10 @@ func main() {
 		if results, failed, err = parse(os.Stdin); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *median {
+		results = medianResults(results)
 	}
 
 	if *out != "" || *compare == "" {
@@ -201,6 +207,71 @@ func compareResults(w io.Writer, baseline, current []Result, warnExpr string, wa
 		}
 	}
 	return warnings, nil
+}
+
+// medianResults collapses runs that repeat a benchmark name (go test
+// -count=N) into one result per name in first-appearance order, taking the
+// median of every numeric column independently (ns/op, B/op, allocs/op,
+// iterations, and each custom metric). Medians resist the noisy-runner
+// outliers that make single bench-compare runs flake: one slow run out of
+// three no longer reads as a regression. Names that appear once pass through
+// unchanged; HasMem holds iff every run of the name carried the allocation
+// columns.
+func medianResults(results []Result) []Result {
+	byName := make(map[string][]Result, len(results))
+	var order []string
+	for _, r := range results {
+		if _, seen := byName[r.Name]; !seen {
+			order = append(order, r.Name)
+		}
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		runs := byName[name]
+		if len(runs) == 1 {
+			out = append(out, runs[0])
+			continue
+		}
+		med := Result{Name: name, Procs: runs[0].Procs, HasMem: true}
+		pick := func(get func(Result) float64) float64 {
+			vals := make([]float64, len(runs))
+			for i, r := range runs {
+				vals[i] = get(r)
+			}
+			return median(vals)
+		}
+		med.Iterations = int64(pick(func(r Result) float64 { return float64(r.Iterations) }))
+		med.NsPerOp = pick(func(r Result) float64 { return r.NsPerOp })
+		med.BytesPerOp = pick(func(r Result) float64 { return r.BytesPerOp })
+		med.AllocsPerOp = pick(func(r Result) float64 { return r.AllocsPerOp })
+		units := make(map[string]bool)
+		for _, r := range runs {
+			med.HasMem = med.HasMem && r.HasMem
+			for u := range r.Metrics {
+				units[u] = true
+			}
+		}
+		for u := range units {
+			if med.Metrics == nil {
+				med.Metrics = make(map[string]float64)
+			}
+			med.Metrics[u] = pick(func(r Result) float64 { return r.Metrics[u] })
+		}
+		out = append(out, med)
+	}
+	return out
+}
+
+// median returns the middle of the sorted values (mean of the two middles for
+// an even count). vals may be reordered.
+func median(vals []float64) float64 {
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
 }
 
 // fmtDelta renders a percentage delta with sign, or "-" for NaN.

@@ -139,6 +139,38 @@ func TestCompareResultsNoWarnBelowThreshold(t *testing.T) {
 	}
 }
 
+// TestMedianResults covers the -median collapse: per-metric medians over
+// repeated names (odd count = middle, even count = mean of middles),
+// first-appearance ordering, single-run passthrough, custom-metric medians,
+// and HasMem holding only when every run carried the allocation columns.
+func TestMedianResults(t *testing.T) {
+	in := []Result{
+		{Name: "BenchmarkA", Procs: 2, Iterations: 10, NsPerOp: 300, BytesPerOp: 64, AllocsPerOp: 3, HasMem: true},
+		{Name: "BenchmarkB", Procs: 1, Iterations: 1, NsPerOp: 50, Metrics: map[string]float64{"rounds/op": 4}},
+		{Name: "BenchmarkA", Procs: 2, Iterations: 30, NsPerOp: 100, BytesPerOp: 32, AllocsPerOp: 3, HasMem: true},
+		{Name: "BenchmarkB", Procs: 1, Iterations: 3, NsPerOp: 70, Metrics: map[string]float64{"rounds/op": 8}},
+		{Name: "BenchmarkA", Procs: 2, Iterations: 20, NsPerOp: 200, BytesPerOp: 48, AllocsPerOp: 5, HasMem: true},
+		{Name: "BenchmarkOnce", Procs: 4, Iterations: 7, NsPerOp: 11, BytesPerOp: 1, AllocsPerOp: 1, HasMem: true},
+	}
+	got := medianResults(in)
+	want := []Result{
+		{Name: "BenchmarkA", Procs: 2, Iterations: 20, NsPerOp: 200, BytesPerOp: 48, AllocsPerOp: 3, HasMem: true},
+		{Name: "BenchmarkB", Procs: 1, Iterations: 2, NsPerOp: 60, Metrics: map[string]float64{"rounds/op": 6}},
+		{Name: "BenchmarkOnce", Procs: 4, Iterations: 7, NsPerOp: 11, BytesPerOp: 1, AllocsPerOp: 1, HasMem: true},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("medianResults mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// A run missing -benchmem poisons HasMem for its name.
+	mixed := medianResults([]Result{
+		{Name: "BenchmarkC", NsPerOp: 1, HasMem: true},
+		{Name: "BenchmarkC", NsPerOp: 3},
+	})
+	if len(mixed) != 1 || mixed[0].HasMem {
+		t.Fatalf("mixed HasMem must collapse to false: %+v", mixed)
+	}
+}
+
 // TestCompareResultsBadRegexp surfaces -warn compile errors.
 func TestCompareResultsBadRegexp(t *testing.T) {
 	var buf strings.Builder

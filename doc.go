@@ -59,45 +59,64 @@
 // vector (core.SlotKeysInto, or a core.NodeSel live list restricted to the
 // round's candidates), the packed selection keys and the packed-path
 // decision (core.EdgeSel) — and candidate seeds are then evaluated
-// block-major: hashfam.Evaluator.EvalSeedsBlocked walks the key vector in
-// cache-resident blocks and evaluates all S seeds of a
+// block-major: the kernel walks the key vector in cache-resident
+// hashfam.BlockKeyGrain blocks and evaluates all S seeds of a
 // condexp.BlockSeeds-sized group against each block before moving to the
-// next, writing an S×len(keys) scratch tile (internal/scratch.Tile) whose
-// rows then feed one z-vector local-minimum selection per seed. Key loads
-// are amortized S-fold, so the kernel is bounded by arithmetic, not memory
-// traffic. The arithmetic is regime-dispatched per field prime
-// (internal/intmath.Reducer): a single high-multiply Barrett path for
+// next, so key loads are amortized S-fold and the kernel is bounded by
+// arithmetic, not memory traffic. On rounds whose selection state qualifies
+// (the common case), the batch objectives run the FUSED form of that walk —
+// hashfam.Evaluator.EvalSeedsBlockedFold — which hands each evaluated
+// S×BlockKeyGrain block to a fold callback immediately, while the block is
+// still cache-resident: the callback scatters the values into flat per-seed
+// selection tables (core.NodeFold / core.EdgeFold) or per-seed goodness
+// cursors (internal/sparsify, branchless scans judged against acceptance
+// intervals precomputed once per stage — the deviation bounds depend only
+// on each group's fixed size and weight, never on the seed), so the scratch
+// tile shrinks from S×len(keys) words to one block per seed and the hash
+// values never round-trip through memory before selection reads them. The two-pass shape — EvalSeedsBlocked
+// into a full-width internal/scratch.Tile, then one z-row selection per
+// seed — is retained as the fallback for rounds outside the fold gates and
+// as the fuzz-proven equivalence reference (reassembled fold blocks are
+// byte-compared against it). The arithmetic is regime-dispatched per field
+// prime (internal/intmath.Reducer): a single high-multiply Barrett path for
 // m ≤ 2^32 — with a GOARCH-gated AVX2 assembly inner loop on amd64 and a
 // pure-Go fallback elsewhere — a branchless Montgomery path for odd
 // m < 2^63, and Möller–Granlund wide reduction for the rest. Every regime
 // computes exactly the same field values as the scalar hashfam.Family.Eval
 // fallback, so derandomized outputs are bit-identical either way (proven
 // end to end by the kernel-vs-scalar and blocked-vs-scalar tables in
-// parallel_determinism_test.go and by fuzzing the blocked kernel against
-// per-seed EvalKeys); see the "Hash kernel" and "Selection scan" sections
-// of ROADMAP.md.
+// parallel_determinism_test.go and by fuzzing the blocked and fold kernels
+// against per-seed EvalKeys); see the "Hash kernel" and "Selection scan"
+// sections of ROADMAP.md.
 //
-// The selection side of that path picks its table discipline per round.
-// When the id space is dense against the edge list (n ≤ 4·|E|) the
-// per-node minimum table is flat-wiped and merged with plain loads and
-// stores, and the surviving edges are compacted branchlessly (unconditional
-// store, flag-advanced cursor) — the shapes the seed searches actually
-// scan are branch-hostile, so this is what the selection term's 2x comes
-// from. Sparse rounds instead go epoch-stamped: the tables carry a stamp
-// array plus a generation counter, a slot being meaningful only when its
-// stamp equals the current generation. Each per-seed evaluation advances
-// the generation instead of clearing the tables, so its cost is
-// proportional to the touched set — the round's edges and candidates — not
-// to the id space.
+// The selection side of that path picks its table discipline per round, for
+// edges and nodes alike. Dense rounds — the live set covers at least a
+// quarter of the id space and the packed (z, id) keys sit strictly below
+// the all-ones sentinel — use flat tables: one word per id, wiped to the
+// sentinel (intmath.Fill64) and fed by the fold scatter, so the selection
+// scan probes ONE word per neighbour or endpoint instead of a stamp, a
+// position and a key reassembly. Node tables (core.NodeFold) are wiped once
+// per ROUND, not per seed — within a round every seed's scatter plainly
+// overwrites the fixed live set and dead slots keep the sentinel — while
+// edge tables (core.EdgeFold, minimum accumulators) rewipe per seed group;
+// node survivors are compacted branchlessly (unconditional store,
+// flag-advanced cursor), and the matched edges are recovered from mutual
+// table pointers in canonical order. Sparse rounds instead go
+// epoch-stamped: the tables carry a stamp array plus a generation counter,
+// a slot being meaningful only when its stamp equals the current
+// generation. Each per-seed evaluation advances the generation instead of
+// clearing the tables, so its cost is proportional to the touched set —
+// the round's edges and candidates — not to the id space.
 // Results stay bit-identical across any reuse because a new generation
 // makes every old slot unreadable at O(1) cost, and when the uint32 counter
 // wraps the stamp array is hard-reset over its full capacity with the
 // counter restarting at 1 (zero is never a live generation), so a stale
 // stamp can never collide with a recycled one. The epoch state lives in
 // Reset-surviving slots of the pooled scratch contexts, which is what keeps
-// warm re-solves allocation-flat; internal/core/selection_equiv_test.go
-// pins the whole invariant against eager-reset references, including across
-// a forced wrap.
+// warm re-solves allocation-flat; internal/core/selection_equiv_test.go and
+// the dense/stamped/eager equivalence tables (internal/core/fold_test.go)
+// pin the whole invariant against eager-reset references, including across
+// a forced wrap and across dirty fold-scratch reuse.
 //
 // # Request-scoped solves
 //

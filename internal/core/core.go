@@ -484,7 +484,21 @@ type EdgeSel struct {
 	n      int
 	idBits uint
 	packed bool
+	// foldBits/fold describe the EdgeFold representation (z<<foldBits | other
+	// endpoint, per-node tables): fold is set iff the round is dense enough
+	// for flat tables AND every live fold key is strictly below the all-ones
+	// sentinel. See EdgeFoldScatter.
+	foldBits uint
+	fold     bool
 }
+
+// Fold reports whether this round qualifies for the fused block-fold
+// selection (EdgeFold): the packed endpoint representation must be exact
+// under the round's zMax with the all-ones sentinel unreachable, and the
+// round must be dense (n <= 4|edges|) so the per-seed flat table wipe is
+// cheaper than the epoch bookkeeping it replaces. Sparse or unpackable
+// rounds keep the two-pass epoch-stamped LocalMinEdgesSel.
+func (sel *EdgeSel) Fold() bool { return sel.fold }
 
 // EdgeSelInit fills sel for one round: edges is the round's canonical edge
 // list over an n-id graph, ekeys is the caller's key buffer (typically a
@@ -503,9 +517,19 @@ func EdgeSelInit(sel *EdgeSel, n int, edges []graph.Edge, ekeys []uint64, zMax u
 	}
 	sel.ekeys = ekeys
 	sel.idBits, sel.packed = 0, false
+	sel.foldBits, sel.fold = 0, false
 	if n >= 2 {
 		sel.idBits = uint(bits.Len64(uint64(n)*uint64(n) - 1))
 		sel.packed = zMax>>(64-sel.idBits) == 0
+		// The fold representation packs (z, other endpoint) rather than
+		// (z, edge key), so it affords a narrower id field — but its tables
+		// use all-ones as the "no incident edge" sentinel, so a live key must
+		// never be able to reach it: zMax must sit STRICTLY below the sentinel
+		// prefix (always true for the repository's ~SlotMax·n² hash fields).
+		// Density gates it exactly like LocalMinEdgesSel's dense branch.
+		fb := uint(bits.Len64(uint64(n) - 1))
+		sel.foldBits = fb
+		sel.fold = zMax < ^uint64(0)>>fb && n <= 4*len(edges)
 	}
 }
 
@@ -573,6 +597,9 @@ func LocalMinEdgesZ(s *EdgeMinScratch, estar *graph.Graph, edges []graph.Edge, z
 	}
 	s.sel.ekeys = ekeys
 	s.sel.idBits, s.sel.packed = packedEdgeBits(n, z)
+	// The wrapper never fold-selects; clear any fold eligibility a previous
+	// EdgeSelInit on this embedded plan may have recorded.
+	s.sel.foldBits, s.sel.fold = 0, false
 	return LocalMinEdgesSel(s, &s.sel, z)
 }
 
@@ -606,9 +633,7 @@ func LocalMinEdgesSel(s *EdgeMinScratch, sel *EdgeSel, z []uint64) []graph.Edge 
 			// the resulting table — and the selected edges — are
 			// bit-identical to the stamped pass below.
 			min1 := min1[:sel.n]
-			for i := range min1 {
-				min1[i] = ^uint64(0)
-			}
+			intmath.Fill64(min1, ^uint64(0))
 			for idx, e := range edges {
 				k := z[idx]<<idBits | ekeys[idx]
 				keys[idx] = k
@@ -823,6 +848,17 @@ type NodeSel struct {
 	n      int
 	idBits uint
 	packed bool
+	// gen counts Init/InitList calls over the plan's whole lifetime (never
+	// reset, uint64 so it never wraps in practice). NodeFold keys its
+	// once-per-round table wipes on (plan pointer, gen), so a fold scratch
+	// can tell "same round, table rows already sentinel at dead slots" from
+	// "new round, rewipe" without the plan knowing its consumers.
+	gen uint64
+	// dense marks rounds that qualify for the flat-table selection
+	// (NodeFold): packed keys whose maximum stays strictly below the
+	// all-ones sentinel, over a live set covering at least a quarter of the
+	// id space. See Dense.
+	dense bool
 }
 
 // Init fills sel for one round: inQ masks the candidates over an n-id
@@ -876,21 +912,34 @@ func (sel *NodeSel) InitList(n int, ids []graph.NodeID, keyOf func(graph.NodeID)
 // generation (shared prologue of Init and InitList).
 func (sel *NodeSel) begin(n int) uint32 {
 	sel.n = n
+	sel.gen++
 	sel.pos = graph.Grow(sel.pos, n)
 	sel.stamp = graph.Grow(sel.stamp, n)
 	return NextEpoch(sel.stamp, &sel.epoch)
 }
 
-// finish records the packed-path decision (shared epilogue of Init and
-// InitList): packed iff every z value under the caller's bound fits above an
-// id field of Len(n-1) bits in one word.
+// finish records the packed-path and dense-path decisions (shared epilogue
+// of Init and InitList): packed iff every z value under the caller's bound
+// fits above an id field of Len(n-1) bits in one word, dense additionally
+// iff no live packed key can collide with NodeFold's all-ones sentinel and
+// the live set covers at least a quarter of the id space (so a flat table
+// wipe amortises against the per-seed epoch bookkeeping it replaces).
 func (sel *NodeSel) finish(n int, zMax uint64) {
-	sel.idBits, sel.packed = 0, false
+	sel.idBits, sel.packed, sel.dense = 0, false, false
 	if n >= 2 {
 		sel.idBits = uint(bits.Len64(uint64(n) - 1))
 		sel.packed = zMax>>(64-sel.idBits) == 0
+		sel.dense = zMax < ^uint64(0)>>sel.idBits && n <= 4*len(sel.live)
 	}
 }
+
+// Dense reports whether this round qualifies for the flat-table selection
+// (NodeFold + LocalMinNodesSelIn's dense branch): the round's packed keys
+// must stay strictly below the all-ones "dead slot" sentinel, and the live
+// set must be dense in the id space (n <= 4|live|) so wiping a full table
+// once per round beats stamp checks on every neighbour probe. Sparse rounds
+// keep the epoch-stamped LocalMinNodesSel scan.
+func (sel *NodeSel) Dense() bool { return sel.dense }
 
 // Live returns the candidate ids in ascending order, valid until the next
 // Init.
@@ -941,6 +990,217 @@ func LocalMinNodesSel(dst []graph.NodeID, q *graph.Graph, sel *NodeSel, z []uint
 		}
 		if isMin {
 			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// NodeFold is the per-worker flat-table scratch of the dense node selection:
+// one n-word table per in-flight seed, tab[v] = z_v<<idBits | v for live v
+// and the all-ones sentinel for dead v. The selection scan then probes ONE
+// word per neighbour — where the stamped path loads stamp[u], pos[u] and
+// z[pos[u]] and reassembles the packed key per probe — while keeping the
+// same early-exit loop shape (a dead neighbour's sentinel can never
+// disqualify a live key, because Dense guarantees live keys sit strictly
+// below it).
+//
+// Tables are wiped to the sentinel once per ROUND, not once per seed: within
+// a round the live set is fixed, every seed's scatter plainly overwrites all
+// live slots, and dead slots keep the sentinel — so after the first wipe a
+// table is reusable by construction. Tables keys the wipe on the plan's
+// (pointer, generation) pair and tracks how many rows are wiped, rewiping
+// only on a new round, a reallocation, or a wider row request. The zero
+// value is ready to use; a NodeFold belongs to one worker at a time (the
+// objectives embed one in their pooled per-worker state).
+type NodeFold struct {
+	buf   []uint64
+	rows  [][]uint64
+	owner *NodeSel
+	gen   uint64
+	n     int
+	wiped int
+}
+
+// Tables returns s per-seed selection tables of n = sel's id-space words
+// each, every returned row sentinel-filled at all slots no scatter of the
+// current round has overwritten. Rows are reused across calls within one
+// round (see the type comment); s is the seed-group width, so the tables
+// for a whole condexp.BlockSeeds group fit one call.
+func (f *NodeFold) Tables(sel *NodeSel, s int) [][]uint64 {
+	n := sel.n
+	if need := s * n; cap(f.buf) < need {
+		f.buf = make([]uint64, need)
+		f.wiped = 0
+	}
+	if f.owner != sel || f.gen != sel.gen || f.n != n {
+		f.owner, f.gen, f.n, f.wiped = sel, sel.gen, n, 0
+	}
+	if cap(f.rows) < s {
+		f.rows = make([][]uint64, s)
+	}
+	rows := f.rows[:s]
+	for i := range rows {
+		rows[i] = f.buf[i*n : (i+1)*n : (i+1)*n]
+	}
+	for i := f.wiped; i < s; i++ {
+		intmath.Fill64(rows[i], ^uint64(0))
+	}
+	if s > f.wiped {
+		f.wiped = s
+	}
+	return rows
+}
+
+// NodeFoldScatter writes the packed keys of live candidates lo..hi-1 into a
+// NodeFold table: tab[v] = z[i]<<idBits | v for v = sel.Live()[lo+i]. It is
+// the per-block absorb step of the fused kernel pipeline — called from
+// inside an EvalSeedsBlockedFold callback with the block's tile row, so the
+// scatter runs while the z values are cache-resident. Scattering every block
+// of a seed in ascending order leaves the table identical to a full-vector
+// scatter; the store is a plain overwrite (each live slot is written exactly
+// once per seed), which is what makes the once-per-round wipe sound.
+func NodeFoldScatter(tab []uint64, sel *NodeSel, lo, hi int, z []uint64) {
+	b := sel.idBits
+	for i, v := range sel.live[lo:hi] {
+		tab[v] = z[i]<<b | uint64(v)
+	}
+}
+
+// NodeFoldSelect runs the dense selection scan against a fully scattered
+// table: a candidate joins I_h iff its packed key is strictly smaller than
+// every neighbour's table word. Dead neighbours read the all-ones sentinel,
+// which no live key can reach (Dense), so they are skipped without a stamp
+// check — the inner loop is one load and one compare per probed neighbour,
+// early-exiting on the first disqualifier exactly like the stamped scan, so
+// the output is bit-identical to LocalMinNodesSel on the same z vector.
+// Output compaction is branchless (unconditional store, flag-advanced
+// cursor): whether a candidate survives is hash-random, so a conditional
+// append would mispredict on a large fraction of candidates.
+func NodeFoldSelect(dst []graph.NodeID, q *graph.Graph, sel *NodeSel, tab []uint64) []graph.NodeID {
+	live := sel.live
+	out := graph.Grow(dst, len(live))[:len(live)]
+	cnt := 0
+	for _, v := range live {
+		kv := tab[v]
+		flag := 1
+		for _, u := range q.Neighbors(v) {
+			if kv >= tab[u] {
+				flag = 0
+				break
+			}
+		}
+		out[cnt] = v
+		cnt += flag
+	}
+	return out[:cnt]
+}
+
+// LocalMinNodesSelIn is LocalMinNodesSel with a caller-owned NodeFold: dense
+// rounds (sel.Dense()) scatter the full z vector into a flat table and run
+// the single-word-probe scan, sparse rounds fall through to the
+// epoch-stamped path. Results are bit-identical either way — the
+// dense/stamped/eager equivalence table in core's tests pins it — so the
+// objectives route every full-vector selection through here and let the
+// plan pick the discipline per round.
+func LocalMinNodesSelIn(f *NodeFold, dst []graph.NodeID, q *graph.Graph, sel *NodeSel, z []uint64) []graph.NodeID {
+	if !sel.dense {
+		return LocalMinNodesSel(dst, q, sel, z)
+	}
+	if len(z) < len(sel.live) {
+		panic("core: LocalMinNodesSelIn z vector shorter than live set")
+	}
+	tab := f.Tables(sel, 1)[0]
+	NodeFoldScatter(tab, sel, 0, len(sel.live), z)
+	return NodeFoldSelect(dst, q, sel, tab)
+}
+
+// EdgeFold is the per-worker flat-table scratch of the fused edge selection:
+// one n-word table per in-flight seed, tab[v] = min over v's incident edges
+// of z<<foldBits | (other endpoint), all-ones where no edge touched v. For a
+// fixed endpoint v the canonical edge key e.Key(n) is strictly increasing in
+// the other endpoint (all three orderings of u, v1 < v2 preserve it), so
+// ordering incident edges by (z, other endpoint) IS the (z, key) order of
+// LocalMinEdgesSel — the fold representation affords an id field of
+// Len(n-1) bits instead of Len(n²-1) while selecting identical edges.
+//
+// Unlike NodeFold's plain-overwrite tables these are MIN accumulators, so
+// Begin wipes per seed group, not per round — the same flat-wipe cost the
+// dense branch of LocalMinEdgesSel pays, which is why EdgeSel.Fold carries
+// the same density gate. The zero value is ready to use; an EdgeFold belongs
+// to one worker at a time.
+type EdgeFold struct {
+	buf  []uint64
+	rows [][]uint64
+}
+
+// Begin returns s sentinel-wiped per-seed tables of sel.n words each — one
+// per seed of a condexp.BlockSeeds group, wiped eagerly because the fold
+// merges with min (a stale smaller key from a previous group would
+// corrupt).
+func (f *EdgeFold) Begin(sel *EdgeSel, s int) [][]uint64 {
+	n := sel.n
+	if need := s * n; cap(f.buf) < need {
+		f.buf = make([]uint64, need)
+	}
+	if cap(f.rows) < s {
+		f.rows = make([][]uint64, s)
+	}
+	rows := f.rows[:s]
+	for i := range rows {
+		row := f.buf[i*n : (i+1)*n : (i+1)*n]
+		intmath.Fill64(row, ^uint64(0))
+		rows[i] = row
+	}
+	return rows
+}
+
+// EdgeFoldScatter min-merges edges lo..hi-1 into a table: z[i] is the hash
+// value of sel's edge lo+i (one tile row of an EvalSeedsBlockedFold block),
+// and each edge updates both endpoint slots with its packed (z, other
+// endpoint) key. Merges are the load–min–store shape the compiler lowers to
+// conditional moves, mirroring the dense branch of LocalMinEdgesSel.
+func EdgeFoldScatter(tab []uint64, sel *EdgeSel, lo, hi int, z []uint64) {
+	b := sel.foldBits
+	edges := sel.edges
+	for idx := lo; idx < hi; idx++ {
+		e := edges[idx]
+		zs := z[idx-lo] << b
+		ku := zs | uint64(e.V)
+		mu := tab[e.U]
+		if ku < mu {
+			mu = ku
+		}
+		tab[e.U] = mu
+		kv := zs | uint64(e.U)
+		mv := tab[e.V]
+		if kv < mv {
+			mv = kv
+		}
+		tab[e.V] = mv
+	}
+}
+
+// EdgeFoldDecode appends the selected matching of a fully merged table to
+// dst[:0]: edge {u,v} is selected iff it is the argmin at BOTH endpoints,
+// i.e. tab[u] points at v and tab[v] points back at u with the same z. The
+// scan walks ids ascending and emits at the smaller endpoint; selected edges
+// form a matching (distinct smaller endpoints), so the output is exactly the
+// canonical-edge-order output of LocalMinEdgesSel's compaction pass.
+func EdgeFoldDecode(dst []graph.Edge, tab []uint64, sel *EdgeSel) []graph.Edge {
+	b := sel.foldBits
+	mask := uint64(1)<<b - 1
+	out := dst[:0]
+	for u := 0; u < sel.n; u++ {
+		t := tab[u]
+		if t == ^uint64(0) {
+			continue
+		}
+		v := t & mask
+		if v <= uint64(u) {
+			continue
+		}
+		if tab[v] == t&^mask|uint64(u) {
+			out = append(out, graph.Edge{U: graph.NodeID(u), V: graph.NodeID(v)})
 		}
 	}
 	return out

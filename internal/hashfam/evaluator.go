@@ -96,13 +96,17 @@ func (e *Evaluator) evalReduced(c, keys, out []uint64) {
 	}
 }
 
-// blockedKeyGrain is the key-block size of EvalSeedsBlocked: 512 keys = 4KB,
-// comfortably inside L1 alongside one output row, so every seed after the
-// first reads the block from cache instead of re-streaming the key vector
-// from memory. Block boundaries derive from len(keys) and this constant
-// alone, and each output element depends only on its own key and seed, so
-// blocking is unobservable in the results.
-const blockedKeyGrain = 512
+// BlockKeyGrain is the key-block size of EvalSeedsBlocked and
+// EvalSeedsBlockedFold: 512 keys = 4KB, comfortably inside L1 alongside one
+// output row, so every seed after the first reads the block from cache
+// instead of re-streaming the key vector from memory. Block boundaries
+// derive from len(keys) and this constant alone, and each output element
+// depends only on its own key and seed, so blocking is unobservable in the
+// results. It is exported so fold callers can size their tile rows to one
+// block (min(BlockKeyGrain, len(keys))) instead of the full key vector.
+const BlockKeyGrain = 512
+
+const blockedKeyGrain = BlockKeyGrain
 
 // EvalSeedsBlocked writes out[s][i] = h_seeds[s](keys[i]) for every seed and
 // key: the block-major multi-seed kernel of the batched seed searches. Where
@@ -180,6 +184,91 @@ func (e *Evaluator) EvalSeedsBlocked(seeds [][]uint64, keys []uint64, out [][]ui
 				e.evalReduced(cs[s*k:(s+1)*k], kb, out[s][lo:hi])
 			}
 		}
+	}
+}
+
+// EvalSeedsBlockedFold is the fused form of EvalSeedsBlocked: instead of
+// filling S full-length output rows, it evaluates each BlockKeyGrain key
+// block into the first hi-lo slots of the S tile rows and immediately hands
+// the block to the caller's fold callback — so the selection's min-table
+// updates run while the block's z values are still cache-resident, and the
+// S×len(keys) tile of the two-pass path shrinks to S×BlockKeyGrain. Inside
+// fold(lo, hi), tile[s][i] holds h_seeds[s](keys[lo+i]) for i < hi-lo; the
+// rows are overwritten by the next block, so the callback must consume them
+// before returning.
+//
+// The fold sequence is deterministic by construction: blocks are visited in
+// ascending key order with boundaries derived from len(keys) and
+// BlockKeyGrain alone, every tile value is byte-identical to the
+// corresponding EvalSeedsBlocked slot (same per-block inner kernels,
+// fuzz-proven in evaluator_test.go), and the callback runs on the calling
+// goroutine. A caller whose fold is a per-block min/sum absorption therefore
+// computes exactly what the two-pass pipeline computes. Each of the first
+// len(seeds) tile rows must have at least min(BlockKeyGrain, len(keys))
+// entries; dirty row contents are never read. With no seeds or no keys the
+// callback is never invoked.
+func (e *Evaluator) EvalSeedsBlockedFold(seeds [][]uint64, keys []uint64, tile [][]uint64, fold func(lo, hi int)) {
+	k := e.fam.k
+	S := len(seeds)
+	if len(tile) < S {
+		panic("hashfam: EvalSeedsBlockedFold with fewer tile rows than seeds")
+	}
+	rowLen := len(keys)
+	if rowLen > blockedKeyGrain {
+		rowLen = blockedKeyGrain
+	}
+	for s, seed := range seeds {
+		if len(seed) != k {
+			panic(fmt.Sprintf("hashfam: seed length %d, want %d", len(seed), k))
+		}
+		if len(tile[s]) < rowLen {
+			panic("hashfam: EvalSeedsBlockedFold tile row shorter than key block")
+		}
+	}
+	if S == 0 || len(keys) == 0 {
+		return
+	}
+	var cstack [64]uint64
+	var cs []uint64
+	if S*k <= len(cstack) {
+		cs = cstack[:S*k]
+	} else {
+		cs = make([]uint64, S*k)
+	}
+	for s, seed := range seeds {
+		c := cs[s*k : (s+1)*k]
+		for i, v := range seed {
+			c[i] = e.red.Mod(v)
+		}
+	}
+	pairwise := k == 2
+	for lo := 0; lo < len(keys); lo += blockedKeyGrain {
+		hi := lo + blockedKeyGrain
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		kb := keys[lo:hi]
+		w := hi - lo
+		if pairwise {
+			s := 0
+			for ; s+4 <= S; s += 4 {
+				var c0, c1 [4]uint64
+				for j := 0; j < 4; j++ {
+					c0[j] = cs[(s+j)*2]
+					c1[j] = cs[(s+j)*2+1]
+				}
+				e.red.EvalPoly2x4(&c0, &c1, kb,
+					tile[s][:w], tile[s+1][:w], tile[s+2][:w], tile[s+3][:w])
+			}
+			for ; s < S; s++ {
+				e.red.EvalPoly2(cs[s*2], cs[s*2+1], kb, tile[s][:w])
+			}
+		} else {
+			for s := 0; s < S; s++ {
+				e.evalReduced(cs[s*k:(s+1)*k], kb, tile[s][:w])
+			}
+		}
+		fold(lo, hi)
 	}
 }
 

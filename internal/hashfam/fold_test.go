@@ -1,0 +1,191 @@
+package hashfam
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEvalSeedsBlockedFoldMatchesBlocked pins the fold kernel's contract:
+// reassembling the per-block tile contents handed to the callback must
+// reproduce EvalSeedsBlocked's full matrix byte for byte, the callback must
+// see exactly the [0, len(keys)) blocks in ascending order with
+// BlockKeyGrain-aligned boundaries, and tile rows start dirty. Key counts
+// straddle the grain (empty, below, exact multiple, ragged tail) and S covers
+// the EvalPoly2x4 groups plus remainders.
+func TestEvalSeedsBlockedFoldMatchesBlocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, tc := range evaluatorFamilies {
+		f := New(tc.minField, tc.k)
+		ev := NewEvaluator(f)
+		for _, S := range []int{0, 1, 3, 4, 8, 11} {
+			for _, n := range []int{0, 1, 7, 511, 512, 513, 1400} {
+				seeds := make([][]uint64, S)
+				for s := range seeds {
+					seeds[s] = make([]uint64, f.SeedLen())
+					for i := range seeds[s] {
+						seeds[s][i] = rng.Uint64() // unreduced: Mod'd like EvalKeys
+					}
+				}
+				keys := make([]uint64, n)
+				for i := range keys {
+					keys[i] = rng.Uint64() % f.P()
+				}
+				if n > 1 {
+					keys[0], keys[1] = 0, f.P()-1
+				}
+				want := make([][]uint64, S)
+				for s := 0; s < S; s++ {
+					want[s] = make([]uint64, n)
+				}
+				ev.EvalSeedsBlocked(seeds, keys, want)
+
+				blockLen := n
+				if blockLen > BlockKeyGrain {
+					blockLen = BlockKeyGrain
+				}
+				tile := make([][]uint64, S)
+				got := make([][]uint64, S)
+				for s := 0; s < S; s++ {
+					tile[s] = make([]uint64, blockLen)
+					got[s] = make([]uint64, n)
+					for i := range tile[s] {
+						tile[s][i] = ^uint64(0) // dirty prior contents must not leak
+					}
+				}
+				prevHi := 0
+				ev.EvalSeedsBlockedFold(seeds, keys, tile, func(lo, hi int) {
+					if lo != prevHi || hi <= lo || hi > n || (hi-lo > BlockKeyGrain) {
+						t.Fatalf("S=%d n=%d: bad block [%d,%d) after hi=%d", S, n, lo, hi, prevHi)
+					}
+					if hi < n && (hi-lo) != BlockKeyGrain {
+						t.Fatalf("S=%d n=%d: interior block [%d,%d) not grain-sized", S, n, lo, hi)
+					}
+					prevHi = hi
+					for s := 0; s < S; s++ {
+						copy(got[s][lo:hi], tile[s][:hi-lo])
+					}
+				})
+				if S > 0 && prevHi != n {
+					t.Fatalf("S=%d n=%d: fold stopped at %d", S, n, prevHi)
+				}
+				if (S == 0 || n == 0) && prevHi != 0 {
+					t.Fatalf("S=%d n=%d: callback invoked on empty work", S, n)
+				}
+				for s := 0; s < S; s++ {
+					for i := 0; i < n; i++ {
+						if got[s][i] != want[s][i] {
+							t.Fatalf("p=%d k=%d S=%d n=%d: seed %d key %d: fold = %d, blocked = %d",
+								f.P(), f.K(), S, n, s, i, got[s][i], want[s][i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEvalSeedsBlockedFoldPanics(t *testing.T) {
+	f := New(97, 2)
+	ev := NewEvaluator(f)
+	keys := []uint64{0, 1, 2}
+	noop := func(lo, hi int) {}
+	for name, fn := range map[string]func(){
+		"short seed": func() {
+			ev.EvalSeedsBlockedFold([][]uint64{{1}}, keys, [][]uint64{make([]uint64, 3)}, noop)
+		},
+		"missing row": func() {
+			ev.EvalSeedsBlockedFold([][]uint64{{1, 2}, {3, 4}}, keys, [][]uint64{make([]uint64, 3)}, noop)
+		},
+		"short row": func() {
+			ev.EvalSeedsBlockedFold([][]uint64{{1, 2}}, keys, [][]uint64{make([]uint64, 2)}, noop)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// FuzzEvalSeedsBlockedFoldMatchesBlocked drives the fold kernel with
+// arbitrary fields (the reducer's boundary regimes: near 1, near 2^32, near
+// 2^63, near 2^64), S in {1, 3, 8}, and ragged key counts that leave partial
+// tail blocks; reassembled blocks must match the two-pass kernel byte for
+// byte. Tile rows start dirty and are sized exactly one block.
+func FuzzEvalSeedsBlockedFoldMatchesBlocked(f *testing.F) {
+	f.Add(uint64(1), 2, 1, uint64(12345), 513)
+	f.Add((uint64(1)<<32)-1, 2, 8, uint64(99), 1025)
+	f.Add((uint64(1)<<32)+1, 4, 3, uint64(7), 70)
+	f.Add((uint64(1)<<63)+29, 2, 8, ^uint64(0), 512)
+	f.Add(^uint64(0)-58, 9, 3, uint64(424242), 600)
+	f.Fuzz(func(t *testing.T, minField uint64, k, S int, base uint64, n int) {
+		if k < 1 || k > 12 {
+			return
+		}
+		switch S {
+		case 1, 3, 8:
+		default:
+			return
+		}
+		if n < 0 || n > 2048 {
+			return
+		}
+		if minField > ^uint64(0)-58 {
+			minField = ^uint64(0) - 58 // 2^64-59 is the largest uint64 prime
+		}
+		fam := New(minField, k)
+		ev := NewEvaluator(fam)
+		x := base
+		next := func() uint64 {
+			x = x*6364136223846793005 + 1442695040888963407
+			return x
+		}
+		seeds := make([][]uint64, S)
+		for s := range seeds {
+			seeds[s] = make([]uint64, k)
+			for i := range seeds[s] {
+				seeds[s][i] = next()
+			}
+		}
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = next() % fam.P()
+		}
+		want := make([][]uint64, S)
+		for s := 0; s < S; s++ {
+			want[s] = make([]uint64, n)
+		}
+		ev.EvalSeedsBlocked(seeds, keys, want)
+
+		blockLen := n
+		if blockLen > BlockKeyGrain {
+			blockLen = BlockKeyGrain
+		}
+		tile := make([][]uint64, S)
+		got := make([][]uint64, S)
+		for s := 0; s < S; s++ {
+			tile[s] = make([]uint64, blockLen)
+			got[s] = make([]uint64, n)
+			for i := range tile[s] {
+				tile[s][i] = base // dirty
+			}
+		}
+		ev.EvalSeedsBlockedFold(seeds, keys, tile, func(lo, hi int) {
+			for s := 0; s < S; s++ {
+				copy(got[s][lo:hi], tile[s][:hi-lo])
+			}
+		})
+		for s := 0; s < S; s++ {
+			for i := 0; i < n; i++ {
+				if got[s][i] != want[s][i] {
+					t.Fatalf("p=%d k=%d S=%d n=%d: seed %d key %d: fold %d, two-pass %d",
+						fam.P(), k, S, n, s, i, got[s][i], want[s][i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,24 @@
+package intmath
+
+import "testing"
+
+func TestFill64(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 17, 511, 513} {
+		dst := make([]uint64, n+3)
+		for i := range dst {
+			dst[i] = uint64(i) * 0x9e3779b97f4a7c15
+		}
+		Fill64(dst[:n], ^uint64(0))
+		for i := 0; i < n; i++ {
+			if dst[i] != ^uint64(0) {
+				t.Fatalf("n=%d: dst[%d] = %#x, want all-ones", n, i, dst[i])
+			}
+		}
+		// Slots beyond the fill length must be untouched.
+		for i := n; i < len(dst); i++ {
+			if dst[i] != uint64(i)*0x9e3779b97f4a7c15 {
+				t.Fatalf("n=%d: dst[%d] clobbered beyond fill length", n, i)
+			}
+		}
+	}
+}

@@ -141,6 +141,7 @@ type lowdegEval struct {
 	remove []bool         // scalar reference path: removedEdgesMasked's mask
 	z      []uint64       // kernel path: EvalKeys output over the live colour keys
 	tile   scratch.Tile   // blocked path: one z row per seed of a BlockSeeds group
+	nf     core.NodeFold  // dense phases: flat per-seed selection tables
 	seed   []uint64
 	zf     func(graph.NodeID) uint64
 }
@@ -271,7 +272,7 @@ func MISIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *simcost.Mo
 			return core.LocalMinNodesInto(dst, q, alive, ev.zf)
 		}
 		ev.z = graph.Grow(ev.z, len(sel.Keys()))
-		return core.LocalMinNodesSel(dst, q, sel, evaluator.EvalKeysW(seed, sel.Keys(), ev.z, workers))
+		return core.LocalMinNodesSelIn(&ev.nf, dst, q, sel, evaluator.EvalKeysW(seed, sel.Keys(), ev.z, workers))
 	}
 
 	joinIsolated := func() {
@@ -319,15 +320,40 @@ loop:
 					})
 					return
 				}
-				// Blocked kernel path: each group of BlockSeeds candidates
-				// makes ONE block-major pass over the phase's live colour
-				// keys (byte-identical to per-seed EvalKeys) into the
-				// worker's tile, then runs the plan-based selection and the
-				// incident-count objective per row. Group boundaries depend
-				// only on the batch length and each group writes only its
-				// own value slots, so results are worker-count independent.
+				// Blocked kernel path. Dense phases (live set still covering
+				// most of the id space) run the fused fold pipeline: the
+				// tile shrinks to one hashfam.BlockKeyGrain block per seed
+				// and each evaluated block scatters into the worker's flat
+				// per-seed tables while cache-resident, then the selection
+				// probes the tables — bit-identical to the two-pass tile +
+				// LocalMinNodesSel below, which sparse phases keep. Either
+				// way each group of BlockSeeds candidates makes ONE
+				// block-major pass over the phase's live colour keys, group
+				// boundaries depend only on the batch length, and each group
+				// writes only its own value slots, so results are
+				// worker-count independent.
 				condexp.ForEachSeedBlock(p.Workers(), len(seeds), func(lo, hi int) {
 					ev := evalPool.Get()
+					if sel.Dense() {
+						S := hi - lo
+						tabs := ev.nf.Tables(sel, S)
+						blockLen := len(sel.Keys())
+						if blockLen > hashfam.BlockKeyGrain {
+							blockLen = hashfam.BlockKeyGrain
+						}
+						tile := ev.tile.Rows(S, blockLen)
+						evaluator.EvalSeedsBlockedFold(seeds[lo:hi], sel.Keys(), tile, func(blo, bhi int) {
+							for s := 0; s < S; s++ {
+								core.NodeFoldScatter(tabs[s], sel, blo, bhi, tile[s])
+							}
+						})
+						for s := 0; s < S; s++ {
+							ev.ih = core.NodeFoldSelect(ev.ih, curG, sel, tabs[s])
+							values[lo+s] = int64(incidentEdges(curG, ev.ih, ev))
+						}
+						evalPool.Put(ev)
+						return
+					}
 					tile := ev.tile.Rows(hi-lo, len(sel.Keys()))
 					evaluator.EvalSeedsBlocked(seeds[lo:hi], sel.Keys(), tile)
 					for s := lo; s < hi; s++ {

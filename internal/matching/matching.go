@@ -58,8 +58,10 @@ type IterStats struct {
 // z-closure reading the current seed through the seed field.
 type mmEval struct {
 	lm   core.EdgeMinScratch
-	z    []uint64     // kernel path: EvalKeys output over the round's key vector
-	tile scratch.Tile // blocked path: one z row per seed of a BlockSeeds group
+	z    []uint64      // kernel path: EvalKeys output over the round's key vector
+	tile scratch.Tile  // blocked path: one z row per seed of a BlockSeeds group
+	ef   core.EdgeFold // fold path: flat per-seed endpoint-min tables
+	eh   []graph.Edge  // fold path: decoded matching of the seed under scoring
 	seed []uint64
 	zf   func(graph.Edge) uint64
 }
@@ -196,14 +198,42 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 				})
 				return
 			}
-			// Blocked kernel path: each group of BlockSeeds candidates makes
-			// ONE block-major pass over the round's key vector (byte-identical
-			// to per-seed EvalKeys) into the worker's tile, then runs the
-			// touched-set selection scan per row. Group boundaries depend only
-			// on the batch length, and each group writes only its own seeds'
-			// value slots, so results are worker-count independent.
+			// Blocked kernel path. When the round qualifies (sel.Fold: keys
+			// pack beside a node id and E* is dense in the id space), the
+			// fused fold pipeline evaluates one hashfam.BlockKeyGrain block
+			// of keys per seed and scatters it into flat per-seed
+			// endpoint-min tables while cache-resident; the mutual-pointer
+			// decode then recovers the identical matching the touched-set
+			// scan would have produced (edge keys are, per endpoint,
+			// order-equivalent to (z, other-endpoint) pairs). Sparse rounds
+			// keep the two-pass tile + epoch-stamped selection. Either way
+			// each group of BlockSeeds candidates makes ONE block-major pass
+			// over the round's key vector (byte-identical to per-seed
+			// EvalKeys), group boundaries depend only on the batch length,
+			// and each group writes only its own seeds' value slots, so
+			// results are worker-count independent.
 			condexp.ForEachSeedBlock(p.Workers(), len(seeds), func(lo, hi int) {
 				ev := lmPool.Get()
+				if sel.Fold() {
+					S := hi - lo
+					tabs := ev.ef.Begin(&sel, S)
+					blockLen := len(keys)
+					if blockLen > hashfam.BlockKeyGrain {
+						blockLen = hashfam.BlockKeyGrain
+					}
+					tile := ev.tile.Rows(S, blockLen)
+					evaluator.EvalSeedsBlockedFold(seeds[lo:hi], keys, tile, func(blo, bhi int) {
+						for s := 0; s < S; s++ {
+							core.EdgeFoldScatter(tabs[s], &sel, blo, bhi, tile[s])
+						}
+					})
+					for s := 0; s < S; s++ {
+						ev.eh = core.EdgeFoldDecode(ev.eh, tabs[s], &sel)
+						values[lo+s] = value(ev.eh)
+					}
+					lmPool.Put(ev)
+					return
+				}
 				tile := ev.tile.Rows(hi-lo, len(keys))
 				evaluator.EvalSeedsBlocked(seeds[lo:hi], keys, tile)
 				for s := lo; s < hi; s++ {

@@ -78,8 +78,9 @@ func Deterministic(g *graph.Graph, p core.Params, model *simcost.Model) *Result 
 type misEval struct {
 	inIh []bool
 	ih   []graph.NodeID
-	z    []uint64     // kernel path: EvalKeys output over the node key vector
-	tile scratch.Tile // blocked path: one z row per seed of a BlockSeeds group
+	z    []uint64      // kernel path: EvalKeys output over the node key vector
+	tile scratch.Tile  // blocked path: one z row per seed of a BlockSeeds group
+	nf   core.NodeFold // dense rounds: flat per-seed selection tables
 	seed []uint64
 	zf   func(graph.NodeID) uint64
 }
@@ -131,7 +132,7 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 			return core.LocalMinNodesInto(dst, q, inQ, ev.zf)
 		}
 		ev.z = graph.Grow(ev.z, len(sel.Keys()))
-		return core.LocalMinNodesSel(dst, q, sel, evaluator.EvalKeysW(seed, sel.Keys(), ev.z, workers))
+		return core.LocalMinNodesSelIn(&ev.nf, dst, q, sel, evaluator.EvalKeysW(seed, sel.Keys(), ev.z, workers))
 	}
 
 	joinIsolated := func(st *IterStats) {
@@ -262,14 +263,40 @@ func DeterministicIn(sc *scratch.Context, g *graph.Graph, p core.Params, model *
 				})
 				return
 			}
-			// Blocked kernel path: each group of BlockSeeds candidates makes
-			// ONE block-major pass over the round's |Q'| node keys
-			// (byte-identical to per-seed EvalKeys) into the worker's tile,
-			// then runs the plan-based selection per row. Group boundaries
-			// depend only on the batch length and each group writes only its
-			// own value slots, so results are worker-count independent.
+			// Blocked kernel path. Dense rounds run the fused fold pipeline:
+			// the tile shrinks to one hashfam.BlockKeyGrain block per seed,
+			// and each evaluated block is scattered into the worker's flat
+			// per-seed tables while cache-resident (EvalSeedsBlockedFold);
+			// the selection scan then probes the tables — bit-identical to
+			// the two-pass tile + LocalMinNodesSel below, which sparse rounds
+			// keep. Either way each group of BlockSeeds candidates makes ONE
+			// block-major pass over the round's |Q'| node keys, group
+			// boundaries depend only on the batch length, and each group
+			// writes only its own value slots, so results are worker-count
+			// independent.
 			condexp.ForEachSeedBlock(p.Workers(), len(seeds), func(lo, hi int) {
 				ev := evalPool.Get()
+				if sel.Dense() {
+					S := hi - lo
+					tabs := ev.nf.Tables(sel, S)
+					blockLen := len(sel.Keys())
+					if blockLen > hashfam.BlockKeyGrain {
+						blockLen = hashfam.BlockKeyGrain
+					}
+					tile := ev.tile.Rows(S, blockLen)
+					evaluator.EvalSeedsBlockedFold(seeds[lo:hi], sel.Keys(), tile, func(blo, bhi int) {
+						for s := 0; s < S; s++ {
+							core.NodeFoldScatter(tabs[s], sel, blo, bhi, tile[s])
+						}
+					})
+					for s := 0; s < S; s++ {
+						ih := core.NodeFoldSelect(ev.ih, q, sel, tabs[s])
+						ev.ih = ih
+						values[lo+s] = score(ev, ih)
+					}
+					evalPool.Put(ev)
+					return
+				}
 				tile := ev.tile.Rows(hi-lo, len(sel.Keys()))
 				evaluator.EvalSeedsBlocked(seeds[lo:hi], sel.Keys(), tile)
 				for s := lo; s < hi; s++ {

@@ -227,34 +227,45 @@ func runEdgeStage(sc *scratch.Context, g, curG *graph.Graph, cur []graph.Edge, b
 
 	// Goodness objective: number of good groups under the seed. The blocked
 	// kernel path evaluates each BlockSeeds group of candidates block-major
-	// over the flattened key vector (one cache-resident pass, byte-identical
-	// to per-seed EvalKeys) into a per-worker pooled tile; the scalar
-	// reference path calls fam.Eval once per key. Every slot is rewritten
-	// per evaluation, so pooled reuse is unobservable either way. Single-seed
-	// evaluations (the apply-path recount) use row 0 of the same tile.
+	// over the flattened key vector and folds every evaluated block into
+	// per-seed group cursors while cache-resident (bit-identical to scoring a
+	// full z row: groups tile the key vector in order, so the fold closes
+	// them in the same left-to-right scan countGood performs); the scalar
+	// reference path calls fam.Eval once per key. Single-seed evaluations
+	// (the apply-path recount) keep the full-width tile row + countGood
+	// two-pass shape.
 	evaluator := hashfam.NewEvaluator(fam)
-	tilePool := scratch.NewPerWorker(func() *scratch.Tile { return new(scratch.Tile) })
+	evalPool := scratch.NewPerWorker(func() *stageEval { return new(stageEval) })
+	// Acceptance intervals hoisted out of the per-seed path: the Chernoff
+	// window μ±dev depends only on the group's size, so DevTerm's math.Pow
+	// runs once per group per stage instead of once per group per seed.
+	gLo := sc.Float64s(len(groups))
+	gHi := sc.Float64s(len(groups))
+	for gi, gr := range groups {
+		ex := gr.end - gr.start
+		mu := float64(ex) * sampleProb
+		dev := p.Slack * dc.DevTerm(ex)
+		gLo[gi], gHi[gi] = mu-dev, mu+dev
+	}
+	fold := &stageFold{groups: groups, th: th, lo: gLo, hi: gHi}
 	countGood := func(z []uint64) int64 {
 		var good int64
-		for _, gr := range groups {
-			ex := gr.end - gr.start
+		for gi, gr := range groups {
 			zc := 0
 			for t := gr.start; t < gr.end; t++ {
 				if z[t] < th {
 					zc++
 				}
 			}
-			mu := float64(ex) * sampleProb
-			dev := p.Slack * dc.DevTerm(ex)
-			if float64(zc) >= mu-dev && float64(zc) <= mu+dev {
+			if float64(zc) >= gLo[gi] && float64(zc) <= gHi[gi] {
 				good++
 			}
 		}
 		return good
 	}
 	goodGroups := func(seed []uint64, workers int) int64 {
-		tp := tilePool.Get()
-		z := tp.Rows(1, len(keys))[0]
+		se := evalPool.Get()
+		z := se.tile.Rows(1, len(keys))[0]
 		if p.ScalarObjectives {
 			for t, k := range keys {
 				z[t] = fam.Eval(seed, k)
@@ -263,7 +274,7 @@ func runEdgeStage(sc *scratch.Context, g, curG *graph.Graph, cur []graph.Edge, b
 			evaluator.EvalKeysW(seed, keys, z, workers)
 		}
 		good := countGood(z)
-		tilePool.Put(tp)
+		evalPool.Put(se)
 		return good
 	}
 	objective := func(seeds [][]uint64, values []int64) {
@@ -274,18 +285,29 @@ func runEdgeStage(sc *scratch.Context, g, curG *graph.Graph, cur []graph.Edge, b
 			})
 			return
 		}
-		// Blocked kernel path: one block-major pass per seed group, then the
-		// goodness count per tile row. Group boundaries depend only on the
-		// batch length and each group writes only its own value slots, so
-		// results are worker-count independent.
+		// Fused fold path: the tile holds one hashfam.BlockKeyGrain block
+		// per seed; each evaluated block is absorbed into the seeds' group
+		// cursors before the next block overwrites it. Group boundaries
+		// depend only on the batch length and each group writes only its own
+		// value slots, so results are worker-count independent.
 		condexp.ForEachSeedBlock(p.Workers(), len(seeds), func(lo, hi int) {
-			tp := tilePool.Get()
-			tile := tp.Rows(hi-lo, len(keys))
-			evaluator.EvalSeedsBlocked(seeds[lo:hi], keys, tile)
-			for s := lo; s < hi; s++ {
-				values[s] = countGood(tile[s-lo])
+			se := evalPool.Get()
+			S := hi - lo
+			blockLen := len(keys)
+			if blockLen > hashfam.BlockKeyGrain {
+				blockLen = hashfam.BlockKeyGrain
 			}
-			tilePool.Put(tp)
+			tile := se.tile.Rows(S, blockLen)
+			cursors := se.cursorRows(S)
+			evaluator.EvalSeedsBlockedFold(seeds[lo:hi], keys, tile, func(blo, bhi int) {
+				for s := 0; s < S; s++ {
+					fold.absorb(&cursors[s], tile[s], blo, bhi)
+				}
+			})
+			for s := 0; s < S; s++ {
+				values[lo+s] = cursors[s].good
+			}
+			evalPool.Put(se)
 		})
 	}
 

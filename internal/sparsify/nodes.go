@@ -224,16 +224,42 @@ func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
 
 	// Goodness objective through the blocked kernel: each BlockSeeds group
 	// of candidates makes one block-major pass over the flattened key vector
-	// (byte-identical to per-seed EvalKeys) into a per-worker pooled tile;
-	// the scalar reference path calls fam.Eval once per key. Every slot is
-	// rewritten per evaluation, so pooled reuse is unobservable. Single-seed
-	// evaluations (the apply-path recount) use row 0 of the same tile.
+	// and folds every evaluated block into per-seed group cursors while
+	// cache-resident — bit-identical to scoring a full z row, because groups
+	// tile the key vector in order and the carry preserves the weighted
+	// groups' float-accumulation order exactly. The scalar reference path
+	// calls fam.Eval once per key; single-seed evaluations (the apply-path
+	// recount) keep the full-width tile row + countGood two-pass shape.
 	evaluator := hashfam.NewEvaluator(fam)
-	tilePool := scratch.NewPerWorker(func() *scratch.Tile { return new(scratch.Tile) })
+	evalPool := scratch.NewPerWorker(func() *stageEval { return new(stageEval) })
+	// Acceptance intervals hoisted out of the per-seed path: each bound
+	// depends only on the group's fixed size — and for type-B groups its
+	// fixed total weight, accumulated here in the same left-to-right order
+	// every per-seed scan used, so the float result is bit-identical — which
+	// moves DevTerm's math.Pow and the √ex scaling from once per group per
+	// seed to once per group per stage. Type-Q groups bound the count from
+	// above only, type-B the weight from below only; the open side is ±Inf.
+	gLo := sc.Float64s(len(groups))
+	gHi := sc.Float64s(len(groups))
+	for gi, gr := range groups {
+		ex := gr.end - gr.start
+		if gr.kind == 0 {
+			mu := float64(ex) * sampleProb
+			dev := p.Slack * dc.DevTerm(ex)
+			gLo[gi], gHi[gi] = math.Inf(-1), mu+dev
+			continue
+		}
+		var total float64
+		for t := gr.start; t < gr.end; t++ {
+			total += weightsOf[t]
+		}
+		dev := p.Slack * devB * math.Sqrt(float64(ex))
+		gLo[gi], gHi[gi] = sampleProb*total-dev, math.Inf(1)
+	}
+	fold := &stageFold{groups: groups, th: th, weightsOf: weightsOf, lo: gLo, hi: gHi}
 	countGood := func(z []uint64) int64 {
 		var good int64
-		for _, gr := range groups {
-			ex := gr.end - gr.start
+		for gi, gr := range groups {
 			if gr.kind == 0 {
 				zc := 0
 				for t := gr.start; t < gr.end; t++ {
@@ -241,30 +267,26 @@ func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
 						zc++
 					}
 				}
-				mu := float64(ex) * sampleProb
-				dev := p.Slack * dc.DevTerm(ex)
-				if float64(zc) <= mu+dev {
+				if float64(zc) <= gHi[gi] {
 					good++
 				}
 				continue
 			}
-			var zw, total float64
+			var zw float64
 			for t := gr.start; t < gr.end; t++ {
-				total += weightsOf[t]
 				if z[t] < th {
 					zw += weightsOf[t]
 				}
 			}
-			dev := p.Slack * devB * math.Sqrt(float64(ex))
-			if zw >= sampleProb*total-dev {
+			if zw >= gLo[gi] {
 				good++
 			}
 		}
 		return good
 	}
 	goodGroups := func(seed []uint64, workers int) int64 {
-		tp := tilePool.Get()
-		z := tp.Rows(1, len(keys))[0]
+		se := evalPool.Get()
+		z := se.tile.Rows(1, len(keys))[0]
 		if p.ScalarObjectives {
 			for t, k := range keys {
 				z[t] = fam.Eval(seed, k)
@@ -273,7 +295,7 @@ func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
 			evaluator.EvalKeysW(seed, keys, z, workers)
 		}
 		good := countGood(z)
-		tilePool.Put(tp)
+		evalPool.Put(se)
 		return good
 	}
 	objective := func(seeds [][]uint64, values []int64) {
@@ -284,18 +306,29 @@ func runNodeStage(sc *scratch.Context, g *graph.Graph, cur, b []bool, deg []int,
 			})
 			return
 		}
-		// Blocked kernel path: one block-major pass per seed group, then the
-		// goodness count per tile row. Group boundaries depend only on the
-		// batch length and each group writes only its own value slots, so
-		// results are worker-count independent.
+		// Fused fold path: the tile holds one hashfam.BlockKeyGrain block
+		// per seed; each evaluated block is absorbed into the seeds' group
+		// cursors before the next block overwrites it. Group boundaries
+		// depend only on the batch length and each group writes only its own
+		// value slots, so results are worker-count independent.
 		condexp.ForEachSeedBlock(p.Workers(), len(seeds), func(lo, hi int) {
-			tp := tilePool.Get()
-			tile := tp.Rows(hi-lo, len(keys))
-			evaluator.EvalSeedsBlocked(seeds[lo:hi], keys, tile)
-			for s := lo; s < hi; s++ {
-				values[s] = countGood(tile[s-lo])
+			se := evalPool.Get()
+			S := hi - lo
+			blockLen := len(keys)
+			if blockLen > hashfam.BlockKeyGrain {
+				blockLen = hashfam.BlockKeyGrain
 			}
-			tilePool.Put(tp)
+			tile := se.tile.Rows(S, blockLen)
+			cursors := se.cursorRows(S)
+			evaluator.EvalSeedsBlockedFold(seeds[lo:hi], keys, tile, func(blo, bhi int) {
+				for s := 0; s < S; s++ {
+					fold.absorb(&cursors[s], tile[s], blo, bhi)
+				}
+			})
+			for s := 0; s < S; s++ {
+				values[lo+s] = cursors[s].good
+			}
+			evalPool.Put(se)
 		})
 	}
 
