@@ -25,12 +25,19 @@ BENCH_WARN ?= BenchmarkT7_SeedSearch|BenchmarkT7_SelectionScan|BenchmarkT7_NodeS
 # out of three no longer reads as a regression in bench-compare.
 BENCH_COUNT ?= 3
 
-.PHONY: build build-cmds build-cross test race race-engine bench bench-smoke bench-save bench-compare serve-smoke profile clean fmt fmt-check vet ci
+.PHONY: build build-cmds build-cross test race race-engine bench bench-smoke bench-save bench-compare serve-smoke serve-compare profile clean fmt fmt-check vet ci
 
 # serve-smoke knobs: where detservd listens and where loadgen writes its
 # latency quantiles (archived as a CI artifact next to $(BENCH_OUT)).
 SERVE_ADDR ?= 127.0.0.1:17317
 LOADGEN_OUT ?= LOADGEN_results.json
+# The committed serving baseline serve-compare diffs against: the latest
+# LOADGEN_<date>*.json at the repo root (same LC_ALL=C ordering rationale
+# as BENCH_BASELINE above).
+LOADGEN_BASELINE ?= $(shell ls LOADGEN_2*.json 2>/dev/null | LC_ALL=C sort | tail -1)
+# Every loadgen quantile warns on regression — total-latency p50/p99 and
+# the streaming time-to-first-round (ttfr) cells alike.
+LOADGEN_WARN ?= ^Loadgen
 
 build:
 	$(GO) build ./...
@@ -107,19 +114,23 @@ bench-save:
 	fi
 	$(GO) test -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -count $(BENCH_COUNT) -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -median -o BENCH_$(BENCH_DATE).json
 
-# End-to-end serving smoke: build detservd and loadgen, start the server,
-# drive a short mixed matching/MIS run at two concurrency levels, and write
-# $(LOADGEN_OUT) in the benchjson schema (diffable via
-# `go run ./cmd/benchjson -input $(LOADGEN_OUT) -compare <old>`). The server
-# is always torn down, and the loadgen exit status (nonzero when any
-# (problem, concurrency) cell had zero successes) is propagated. Binaries
-# are built inside the repo and removed afterwards.
+# End-to-end serving smoke: build detservd and loadgen, start the server
+# (log to .tmp-detservd.log), drive a short mixed profile at two
+# concurrency levels — matching and MIS, a quarter of each problem forced
+# onto the sparsify strategy (the long solves), and half of every cell
+# through the NDJSON streaming path, which adds time-to-first-round
+# (ttfr_p50/ttfr_p99) quantiles — and write $(LOADGEN_OUT) in the
+# benchjson schema (diff with `make serve-compare`). The server is always
+# torn down, and the loadgen exit status (nonzero when any (cell,
+# concurrency) bucket had zero successes) is propagated. Binaries are
+# built inside the repo and removed afterwards.
 serve-smoke:
 	$(GO) build -o .tmp-detservd ./cmd/detservd
 	$(GO) build -o .tmp-loadgen ./cmd/loadgen
-	@./.tmp-detservd -addr $(SERVE_ADDR) -engines 2 & echo $$! > .tmp-detservd.pid; \
+	@./.tmp-detservd -addr $(SERVE_ADDR) -engines 2 > .tmp-detservd.log 2>&1 & echo $$! > .tmp-detservd.pid; \
 	./.tmp-loadgen -addr http://$(SERVE_ADDR) -wait 30s \
-		-requests 24 -concurrency 1,4 -n 1024 -graphs 2 -out $(LOADGEN_OUT); \
+		-requests 32 -concurrency 1,4 -mix 0.5 -sparsify 0.25 -stream 0.5 \
+		-n 1024 -graphs 2 -out $(LOADGEN_OUT); \
 	status=$$?; \
 	kill $$(cat .tmp-detservd.pid) 2>/dev/null; \
 	rm -f .tmp-detservd .tmp-loadgen .tmp-detservd.pid; \
@@ -131,6 +142,17 @@ serve-smoke:
 bench-compare:
 	@if [ -z "$(BENCH_BASELINE)" ]; then echo "bench-compare: no committed BENCH_*.json baseline"; exit 1; fi
 	$(GO) run ./cmd/benchjson -input $(BENCH_OUT) -compare $(BENCH_BASELINE) -warn '$(BENCH_WARN)' -warn-pct 20
+
+# Diff a serve-smoke result ($(LOADGEN_OUT)) against the committed
+# LOADGEN_<date>.json baseline, warning — never failing — on >25% latency
+# regressions in any loadgen quantile: total p50/p99 and the streaming
+# ttfr cells get the same treatment ns/op gets in bench-compare. The
+# threshold is looser than bench-compare's because end-to-end HTTP
+# latencies on shared runners are noisier than in-process benchmarks.
+# Run `make serve-smoke` first.
+serve-compare:
+	@if [ -z "$(LOADGEN_BASELINE)" ]; then echo "serve-compare: no committed LOADGEN_*.json baseline"; exit 1; fi
+	$(GO) run ./cmd/benchjson -input $(LOADGEN_OUT) -compare $(LOADGEN_BASELINE) -warn '$(LOADGEN_WARN)' -warn-pct 25
 
 # CPU profiles of the three selection-bound pipelines (T2 MIS, T5 lowdeg
 # stages, T7 seed-search terms) into the git-ignored profiles/ directory,
@@ -146,12 +168,13 @@ profile:
 
 # Remove build and smoke leftovers: stray compiled test binaries (go test -c
 # and aborted -cpuprofile runs drop *.test at the repo root), the serve-smoke
-# scratch binaries and pidfile, the uncommitted bench/loadgen result JSONs,
+# scratch binaries, pidfile, and server log, the uncommitted bench/loadgen
+# result JSONs,
 # and the profiles/ directory. Committed BENCH_<date>.json baselines are
 # untouched. Runs as the `make ci` teardown; CI jobs upload their artifacts
 # from their own steps before this would matter.
 clean:
-	rm -f *.test .tmp-detservd .tmp-loadgen .tmp-detservd.pid $(BENCH_OUT) $(LOADGEN_OUT)
+	rm -f *.test .tmp-detservd .tmp-loadgen .tmp-detservd.pid .tmp-detservd.log $(BENCH_OUT) $(LOADGEN_OUT)
 	rm -rf profiles
 
 fmt:

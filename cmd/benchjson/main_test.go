@@ -139,6 +139,49 @@ func TestCompareResultsNoWarnBelowThreshold(t *testing.T) {
 	}
 }
 
+// TestCompareSkipsMemColumnsWithoutMem is the loadgen regression: rows
+// that measure latency only (has_mem: false, e.g. every Loadgen* quantile)
+// — or a phantom has_mem: true row whose allocs/op is 0, which the old
+// loadgen emitted — must never produce an allocation delta. The Δallocs
+// column stays "-" whenever either side lacks real memory stats, while the
+// ns/op delta is still computed.
+func TestCompareSkipsMemColumnsWithoutMem(t *testing.T) {
+	baseline := []Result{
+		{Name: "LoadgenMatching_c4_p99", NsPerOp: 1000, HasMem: false},
+		{Name: "LoadgenMIS_c4_ttfr_p50", NsPerOp: 500, HasMem: true}, // phantom: HasMem set, no real allocs
+		{Name: "BenchmarkReal", NsPerOp: 100, AllocsPerOp: 10, HasMem: true},
+	}
+	current := []Result{
+		{Name: "LoadgenMatching_c4_p99", NsPerOp: 1100, HasMem: false},
+		{Name: "LoadgenMIS_c4_ttfr_p50", NsPerOp: 510, HasMem: false},
+		{Name: "BenchmarkReal", NsPerOp: 100, AllocsPerOp: 12, HasMem: true},
+	}
+	var buf strings.Builder
+	if _, err := compareResults(&buf, baseline, current, "", 20); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		cols := strings.Fields(line)
+		if len(cols) == 0 {
+			continue
+		}
+		alloc := cols[len(cols)-1]
+		switch cols[0] {
+		case "LoadgenMatching_c4_p99", "LoadgenMIS_c4_ttfr_p50":
+			if alloc != "-%" {
+				t.Errorf("%s: Δallocs column = %q, want %q (no real mem stats on both sides)", cols[0], alloc, "-%")
+			}
+			if !strings.Contains(line, "+10.0%") && !strings.Contains(line, "+2.0%") {
+				t.Errorf("%s: ns/op delta missing from %q", cols[0], line)
+			}
+		case "BenchmarkReal":
+			if alloc != "+20.0%" {
+				t.Errorf("BenchmarkReal: Δallocs column = %q, want +20.0%%", alloc)
+			}
+		}
+	}
+}
+
 // TestMedianResults covers the -median collapse: per-metric medians over
 // repeated names (odd count = middle, even count = mean of middles),
 // first-appearance ordering, single-run passthrough, custom-metric medians,

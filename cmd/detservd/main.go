@@ -2,12 +2,16 @@
 // MIS solvers over HTTP/JSON from a pool of warm engines.
 //
 // The server keeps repro.Engine instances (and their pooled scratch
-// contexts and prepared-graph caches) alive across requests, applies
-// admission control with a bounded queue — excess load is rejected
-// immediately with HTTP 429 rather than queued without bound — and maps
-// per-request deadlines onto the engines' round- and seed-batch-boundary
-// cancellation, so an expired request abandons its solve cleanly and
-// leaves the engine warm.
+// contexts and prepared-graph caches) alive across requests; graphs route
+// to engines by content fingerprint for warm-cache affinity. Each engine
+// has its own bounded admission queue and a deterministic deficit
+// round-robin scheduler dispatches across them, so a backlog of long
+// solves on one fingerprint cannot starve requests for other graphs.
+// Overflow is per engine — a full home queue rejects with HTTP 429 even
+// while other queues have room — and per-request deadlines (which include
+// queue wait) map onto the engines' round- and seed-batch-boundary
+// cancellation, so an expired or disconnected request abandons its solve
+// cleanly and leaves the engine warm.
 //
 // Usage:
 //
@@ -17,10 +21,12 @@
 // Endpoints (see internal/serve and cmd/detservd/README.md):
 //
 //	GET  /healthz    liveness probe
-//	GET  /v1/stats   admission/solve counters
+//	GET  /v1/status  aggregate + per-engine admission/solve counters
+//	GET  /v1/stats   alias of /v1/status
 //	POST /v1/graphs  upload a graph, get its content fingerprint
 //	POST /v1/solve   solve matching or MIS; "stream": true for NDJSON
-//	                 per-round progress
+//	                 per-round progress (disconnecting cancels the solve
+//	                 at its next round boundary)
 //
 // Determinism holds through the service: a served solve returns exactly
 // the bits a direct Engine call produces for the same graph and options,
@@ -47,7 +53,7 @@ func main() {
 		addr       = flag.String("addr", "127.0.0.1:7317", "listen address")
 		engines    = flag.Int("engines", 1, "warm engines in the pool (graphs route to engines by fingerprint)")
 		workers    = flag.Int("workers", 0, "concurrent solves (0 = one per CPU)")
-		queue      = flag.Int("queue", 64, "admission queue depth; a full queue rejects with 429")
+		queue      = flag.Int("queue", 64, "per-engine admission queue depth; a request whose home queue is full is rejected with 429")
 		defTimeout = flag.Duration("default-timeout", 0, "deadline applied to requests that set none (0 = none)")
 		maxTimeout = flag.Duration("max-timeout", 0, "upper clamp on any per-request timeout_ms (0 = unclamped)")
 		maxBody    = flag.Int64("max-body", 0, "request body limit in bytes (0 = 64 MiB default)")

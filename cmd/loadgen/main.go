@@ -1,27 +1,41 @@
 // Command loadgen drives a running detservd with mixed maximal-matching /
-// MIS traffic at one or more concurrency levels and writes per-problem
+// MIS traffic at one or more concurrency levels and writes per-cell
 // p50/p99 latency quantiles as JSON in the same schema cmd/benchjson
 // emits, so the serving latency history can be archived and diffed next
 // to the BENCH_*.json files with `benchjson -input ... -compare ...`.
 //
 // Graphs are uploaded once and then solved by content fingerprint, which
 // exercises the server's prepared-graph dedup path the way a steady-state
-// client would.
+// client would. The request plan is deterministic: `-mix` splits traffic
+// between matching and MIS, `-sparsify` forces that fraction of each
+// problem's requests onto the sparsify strategy (the long solves the
+// per-engine scheduler must not let starve the short ones), and `-stream`
+// drives that fraction of each (problem, strategy) cell through the NDJSON
+// streaming path instead of the blocking one. Streamed requests record
+// time-to-first-round next to total latency.
 //
 // Usage:
 //
 //	loadgen -addr http://127.0.0.1:7317 -wait 10s \
-//	        -requests 64 -concurrency 1,4 -mix 0.5 \
+//	        -requests 64 -concurrency 1,4 -mix 0.5 -sparsify 0.25 -stream 0.5 \
 //	        -family gnm -n 2048 -deg 8 -graphs 3 -out LOADGEN_results.json
 //
-// Result names follow Loadgen<Problem>_c<concurrency>_p<quantile>, e.g.
-// LoadgenMatching_c4_p99. ns_per_op carries the latency quantile in
-// nanoseconds and iterations the sample count; rejected (429) and failed
-// requests are counted in the metrics map and excluded from quantiles.
-// The run exits nonzero if any level finishes without a single success.
+// Results are bucketed per (problem, strategy) cell and named
+// Loadgen<Cell>_c<concurrency>_<quantile>, where <Cell> is Matching, MIS,
+// MatchingSparsify, or MISSparsify — e.g. LoadgenMatchingSparsify_c4_p99.
+// ns_per_op carries the latency quantile in nanoseconds and iterations the
+// sample count. Cells with streamed samples additionally emit
+// Loadgen<Cell>_c<N>_ttfr_p50/ttfr_p99 rows whose ns_per_op is the
+// time-to-first-round quantile. Loadgen measures latency only, so every
+// row carries has_mem: false and `benchjson -compare` skips the memory
+// columns. Rejected (429) and failed requests are counted in the metrics
+// map and excluded from quantiles; the run exits nonzero if any cell
+// finishes without a single success — after the results file is written,
+// synced, and closed.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -57,17 +71,19 @@ type result struct {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:7317", "detservd base URL")
-		wait     = flag.Duration("wait", 0, "poll /healthz for this long before starting (0 = assume up)")
-		requests = flag.Int("requests", 64, "requests per concurrency level")
-		conc     = flag.String("concurrency", "1,4", "comma-separated concurrency levels")
-		mix      = flag.Float64("mix", 0.5, "fraction of requests that are matching (rest are MIS)")
-		family   = flag.String("family", "gnm", "workload family for the uploaded graphs")
-		n        = flag.Int("n", 2048, "nodes per graph")
-		deg      = flag.Int("deg", 8, "average degree")
-		graphs   = flag.Int("graphs", 3, "distinct graphs to upload and cycle through")
-		timeout  = flag.Duration("timeout", 0, "per-request timeout_ms sent to the server (0 = none)")
-		out      = flag.String("out", "", "output JSON file (default stdout)")
+		addr      = flag.String("addr", "http://127.0.0.1:7317", "detservd base URL")
+		wait      = flag.Duration("wait", 0, "poll /healthz for this long before starting (0 = assume up)")
+		requests  = flag.Int("requests", 64, "requests per concurrency level")
+		conc      = flag.String("concurrency", "1,4", "comma-separated concurrency levels")
+		mix       = flag.Float64("mix", 0.5, "fraction of requests that are matching (rest are MIS)")
+		sparsifyF = flag.Float64("sparsify", 0, "fraction of each problem's requests forced onto the sparsify strategy")
+		streamF   = flag.Float64("stream", 0, "fraction of each (problem, strategy) cell driven through NDJSON streaming")
+		family    = flag.String("family", "gnm", "workload family for the uploaded graphs")
+		n         = flag.Int("n", 2048, "nodes per graph")
+		deg       = flag.Int("deg", 8, "average degree")
+		graphs    = flag.Int("graphs", 3, "distinct graphs to upload and cycle through")
+		timeout   = flag.Duration("timeout", 0, "per-request timeout_ms sent to the server (0 = none)")
+		out       = flag.String("out", "", "output JSON file (default stdout)")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -76,6 +92,14 @@ func main() {
 	levels, err := parseLevels(*conc)
 	if err != nil {
 		log.Fatal(err)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"mix", *mix}, {"sparsify", *sparsifyF}, {"stream", *streamF}} {
+		if f.v < 0 || f.v > 1 {
+			log.Fatalf("-%s must be in [0,1], got %g", f.name, f.v)
+		}
 	}
 	if *wait > 0 {
 		if err := waitHealthy(*addr, *wait); err != nil {
@@ -102,42 +126,59 @@ func main() {
 	}
 	log.Printf("uploaded %d %s graphs (n=%d deg=%d)", len(fps), *family, *n, *deg)
 
+	plan := buildPlan(*requests, fps, *mix, *sparsifyF, *streamF)
 	var results []result
-	failedLevels := 0
+	failedCells := 0
 	for _, c := range levels {
-		lr := runLevel(*addr, fps, *requests, c, *mix, *timeout)
-		for _, p := range []string{serve.ProblemMatching, serve.ProblemMIS} {
-			s := lr[p]
-			if s == nil {
-				continue
-			}
+		lr := runLevel(*addr, plan, c, *timeout)
+		for _, cell := range cellOrder(lr) {
+			s := lr[cell]
 			if len(s.latencies) == 0 {
-				log.Printf("level c=%d %s: no successful requests (%d rejected, %d failed)",
-					c, p, s.rejected, s.failed)
-				failedLevels++
+				log.Printf("level c=%d %s: no successful requests (%d rejected, %d failed, %d attempted)",
+					c, cell, s.rejected, s.failed, s.attempts)
+				if s.attempts > 0 {
+					failedCells++
+				}
 				continue
 			}
-			results = append(results, s.quantiles(p, c)...)
+			results = append(results, s.quantiles(cell, c)...)
 		}
 	}
 
-	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	// Write (and sync, and close) the results before any fatal exit: a run
+	// that dies on the zero-success path must still leave a durable file.
+	if err := writeResults(*out, results); err != nil {
 		log.Fatal(err)
 	}
-	if failedLevels > 0 {
-		log.Fatalf("%d (problem, concurrency) cells had zero successes", failedLevels)
+	if failedCells > 0 {
+		log.Fatalf("%d (cell, concurrency) buckets had zero successes", failedCells)
 	}
+}
+
+// writeResults encodes the schema to -out (or stdout) and flushes it all
+// the way down — Sync then Close, with every error checked — so callers
+// may log.Fatal afterwards without losing the file.
+func writeResults(out string, results []result) error {
+	if out == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseLevels(s string) ([]int, error) {
@@ -192,6 +233,55 @@ func post(url string, body, into any) error {
 	return nil
 }
 
+// streamPost drives one NDJSON streaming solve and reports the
+// time-to-first-round (the latency an observer waits before the first
+// progress line) relative to start. Admission failures arrive as HTTP
+// statuses before any body line; mid-stream failures arrive as a final
+// {"type":"error"} line and are mapped back to statusError so overload
+// still buckets as rejected.
+func streamPost(url string, req *serve.SolveRequest, start time.Time) (ttfr time.Duration, sawRound bool, err error) {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return 0, false, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return 0, false, &statusError{code: resp.StatusCode, body: string(data)}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	sawResult := false
+	for sc.Scan() {
+		var ev serve.StreamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return ttfr, sawRound, fmt.Errorf("bad stream line %q: %w", sc.Bytes(), err)
+		}
+		switch ev.Type {
+		case "round":
+			if !sawRound {
+				ttfr = time.Since(start)
+				sawRound = true
+			}
+		case "result":
+			sawResult = true
+		case "error":
+			return ttfr, sawRound, &statusError{code: ev.Status, body: ev.Error}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return ttfr, sawRound, err
+	}
+	if !sawResult {
+		return ttfr, sawRound, fmt.Errorf("stream ended without a result line")
+	}
+	return ttfr, sawRound, nil
+}
+
 type statusError struct {
 	code int
 	body string
@@ -199,10 +289,64 @@ type statusError struct {
 
 func (e *statusError) Error() string { return fmt.Sprintf("status %d: %s", e.code, e.body) }
 
-// sample accumulates one (problem, concurrency) cell.
+// reqSpec is one planned request: the plan is computed up front so every
+// run with the same flags issues the identical sequence, and every
+// (problem, strategy) cell receives its proportional share of sparsify
+// and streaming traffic regardless of how the fractions interleave.
+type reqSpec struct {
+	problem  string
+	sparsify bool
+	stream   bool
+	fp       string
+}
+
+// cell names the quantile bucket for a spec: Matching, MIS,
+// MatchingSparsify, MISSparsify.
+func (r reqSpec) cell() string {
+	title := strings.ToUpper(r.problem[:1]) + r.problem[1:]
+	if r.problem == serve.ProblemMIS {
+		title = "MIS"
+	}
+	if r.sparsify {
+		title += "Sparsify"
+	}
+	return title
+}
+
+// buildPlan spreads each fraction deterministically: take(k, frac) fires
+// on the indices where the running total int(k*frac) steps, so any prefix
+// of k requests contains within one of k*frac hits. Sparsify is thinned
+// per problem and streaming per (problem, strategy) cell, so no cell is
+// accidentally starved of either dimension.
+func buildPlan(requests int, fps []string, mix, sparsifyFrac, streamFrac float64) []reqSpec {
+	take := func(k int, frac float64) bool {
+		return int(float64(k+1)*frac) > int(float64(k)*frac)
+	}
+	plan := make([]reqSpec, requests)
+	probSeen := map[string]int{}
+	cellSeen := map[string]int{}
+	for i := range plan {
+		p := serve.ProblemMIS
+		if take(i, mix) {
+			p = serve.ProblemMatching
+		}
+		sp := take(probSeen[p], sparsifyFrac)
+		probSeen[p]++
+		spec := reqSpec{problem: p, sparsify: sp, fp: fps[i%len(fps)]}
+		spec.stream = take(cellSeen[spec.cell()], streamFrac)
+		cellSeen[spec.cell()]++
+		plan[i] = spec
+	}
+	return plan
+}
+
+// sample accumulates one (cell, concurrency) bucket.
 type sample struct {
 	mu        sync.Mutex
 	latencies []time.Duration
+	ttfrs     []time.Duration
+	attempts  int
+	streamed  int
 	rejected  int
 	failed    int
 }
@@ -210,6 +354,7 @@ type sample struct {
 func (s *sample) add(d time.Duration, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.attempts++
 	se, isStatus := err.(*statusError)
 	switch {
 	case err == nil:
@@ -221,43 +366,85 @@ func (s *sample) add(d time.Duration, err error) {
 	}
 }
 
-func (s *sample) quantiles(problem string, c int) []result {
-	sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
-	title := strings.ToUpper(problem[:1]) + problem[1:]
-	if problem == serve.ProblemMIS {
-		title = "MIS"
+func (s *sample) addStream(ttfr time.Duration, sawRound bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.streamed++
+	if sawRound {
+		s.ttfrs = append(s.ttfrs, ttfr)
 	}
+}
+
+// quantile picks the ceil-rank order statistic from a sorted slice.
+func quantile(sorted []time.Duration, f float64) time.Duration {
+	idx := int(math.Ceil(f*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+func (s *sample) quantiles(cell string, c int) []result {
+	sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
+	sort.Slice(s.ttfrs, func(i, j int) bool { return s.ttfrs[i] < s.ttfrs[j] })
 	metrics := map[string]float64{
 		"rejected": float64(s.rejected),
 		"failed":   float64(s.failed),
+		"streamed": float64(s.streamed),
 	}
-	var out []result
-	for _, q := range []struct {
+	qs := []struct {
 		label string
 		f     float64
-	}{{"p50", 0.50}, {"p99", 0.99}} {
-		idx := int(math.Ceil(q.f*float64(len(s.latencies)))) - 1
-		if idx < 0 {
-			idx = 0
-		}
+	}{{"p50", 0.50}, {"p99", 0.99}}
+	var out []result
+	for _, q := range qs {
 		out = append(out, result{
-			Name:       fmt.Sprintf("Loadgen%s_c%d_%s", title, c, q.label),
+			Name:       fmt.Sprintf("Loadgen%s_c%d_%s", cell, c, q.label),
 			Procs:      1,
 			Iterations: int64(len(s.latencies)),
-			NsPerOp:    float64(s.latencies[idx].Nanoseconds()),
-			HasMem:     true, // schema column present; loadgen measures latency only
+			NsPerOp:    float64(quantile(s.latencies, q.f).Nanoseconds()),
+			HasMem:     false, // latency only: no bytes/allocs measured
+			Metrics:    metrics,
+		})
+	}
+	// Streamed samples additionally report time-to-first-round: how long
+	// an observer waits before progress starts flowing, as opposed to how
+	// long until the full result lands.
+	for _, q := range qs {
+		if len(s.ttfrs) == 0 {
+			break
+		}
+		out = append(out, result{
+			Name:       fmt.Sprintf("Loadgen%s_c%d_ttfr_%s", cell, c, q.label),
+			Procs:      1,
+			Iterations: int64(len(s.ttfrs)),
+			NsPerOp:    float64(quantile(s.ttfrs, q.f).Nanoseconds()),
+			HasMem:     false, // latency only: no bytes/allocs measured
 			Metrics:    metrics,
 		})
 	}
 	return out
 }
 
-// runLevel fires `requests` solves at concurrency c and buckets latencies
-// by problem.
-func runLevel(addr string, fps []string, requests, c int, mix float64, timeout time.Duration) map[string]*sample {
-	samples := map[string]*sample{
-		serve.ProblemMatching: {},
-		serve.ProblemMIS:      {},
+// cellOrder returns the sample keys in a stable order so the output file
+// is diffable run to run.
+func cellOrder(m map[string]*sample) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// runLevel fires the plan at concurrency c and buckets latencies by
+// (problem, strategy) cell.
+func runLevel(addr string, plan []reqSpec, c int, timeout time.Duration) map[string]*sample {
+	samples := map[string]*sample{}
+	for _, spec := range plan {
+		if samples[spec.cell()] == nil {
+			samples[spec.cell()] = &sample{}
+		}
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -266,29 +453,38 @@ func runLevel(addr string, fps []string, requests, c int, mix float64, timeout t
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				problem := serve.ProblemMIS
-				// Deterministic interleave approximating the mix fraction.
-				if float64(i%requests) < mix*float64(requests) {
-					problem = serve.ProblemMatching
-				}
+				spec := plan[i]
 				req := &serve.SolveRequest{
-					Problem:     problem,
-					Fingerprint: fps[i%len(fps)],
+					Problem:     spec.problem,
+					Fingerprint: spec.fp,
+					Stream:      spec.stream,
+				}
+				if spec.sparsify {
+					req.Options = &serve.SolveOptions{Strategy: string(repro.StrategySparsify)}
 				}
 				if timeout > 0 {
 					req.TimeoutMS = timeout.Milliseconds()
 				}
+				s := samples[spec.cell()]
 				start := time.Now()
-				err := post(addr+"/v1/solve", req, nil)
-				samples[problem].add(time.Since(start), err)
+				if spec.stream {
+					ttfr, sawRound, err := streamPost(addr+"/v1/solve", req, start)
+					s.add(time.Since(start), err)
+					if err == nil {
+						s.addStream(ttfr, sawRound)
+					}
+				} else {
+					err := post(addr+"/v1/solve", req, nil)
+					s.add(time.Since(start), err)
+				}
 			}
 		}()
 	}
-	for i := 0; i < requests; i++ {
+	for i := range plan {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
-	log.Printf("level c=%d done (%d requests)", c, requests)
+	log.Printf("level c=%d done (%d requests)", c, len(plan))
 	return samples
 }

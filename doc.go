@@ -229,19 +229,34 @@
 //
 // internal/serve and cmd/detservd lift the Engine into a long-running
 // HTTP/JSON service: a pool of warm engines multiplexing mixed
-// matching/MIS traffic, with admission control (bounded queue; a full
-// queue rejects immediately with ErrOverloaded / HTTP 429 instead of
-// queueing without bound), per-request deadlines that cover queue wait and
-// map onto the round/seed-batch cancellation boundaries (expired requests
-// match ErrDeadlineExceeded, get HTTP 504, and leave their engine warm),
-// content-addressed graph upload backed by Engine.Prepare (repeat traffic
+// matching/MIS traffic. Requests route to an engine by content fingerprint
+// for warm-cache affinity, and each engine owns a bounded admission queue;
+// a deterministic deficit round-robin scheduler dispatches across the
+// queues, granting each non-empty queue a small run of consecutive
+// dispatches before moving on, so a backlog of long sparsify-strategy
+// solves on one fingerprint delays a cold-fingerprint request by at most
+// that grant — never by the whole backlog. Admission is per engine too: a
+// request whose home queue is full is rejected immediately with
+// ErrOverloaded / HTTP 429 even while other queues have room, and Close
+// drains every queue. Per-request deadlines cover queue wait and map onto
+// the round/seed-batch cancellation boundaries (expired requests match
+// ErrDeadlineExceeded, get HTTP 504, and leave their engine warm), graph
+// upload is content-addressed and backed by Engine.Prepare (repeat traffic
 // for a graph routes to the same warm engine and shares one CSR), and
-// optional NDJSON streaming of the deterministic per-round observer events.
-// The serving layer adds no solving code of its own — a served response is
-// byte-identical to a direct Engine solve with the same graph and options,
-// which the internal/serve tests enforce under concurrent mixed load.
-// cmd/loadgen drives a running server at varying concurrency and archives
-// p50/p99 latency quantiles in the cmd/benchjson schema (make serve-smoke).
+// NDJSON streaming forwards the deterministic per-round observer events as
+// they happen; a client that disconnects mid-stream cancels its solve at
+// the next round boundary, and the abandoned solve's scratch goes back to
+// the pool Reset. GET /v1/status reports the aggregate counters plus
+// per-engine depth/queued/accepted/rejected/served. The serving layer adds
+// no solving code of its own — a served response is byte-identical to a
+// direct Engine solve with the same graph and options, which the
+// internal/serve tests enforce under concurrent mixed load, including one
+// engine's queue saturated while another serves cold traffic. cmd/loadgen
+// drives a running server at varying concurrency with a deterministic
+// mixed plan (-mix matching/MIS split, -sparsify strategy fraction,
+// -stream NDJSON fraction) and archives p50/p99 latency quantiles — plus
+// time-to-first-round quantiles for the streamed cells — in the
+// cmd/benchjson schema (make serve-smoke, diffed by make serve-compare).
 //
 // Everything the algorithms rely on is implemented in this module under
 // internal/: the MPC cluster simulator with Lemma 4's constant-round

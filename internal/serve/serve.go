@@ -7,16 +7,26 @@
 // The layer adds exactly three things on top of the Engine contract, and
 // changes nothing underneath it:
 //
-//   - Admission control. A bounded queue (Config.QueueDepth) feeds a fixed
-//     worker pool (Config.Workers). A request that arrives with the queue
-//     full is rejected immediately with repro.ErrOverloaded (HTTP 429) —
-//     it never touches an Engine, so overload can not corrupt pooled solve
-//     state.
+//   - Admission control, per engine. Every engine in the pool owns a
+//     bounded queue (Config.QueueDepth each); a request whose home engine's
+//     queue is full is rejected immediately with repro.ErrOverloaded
+//     (HTTP 429) — it never touches an Engine, so overload can not corrupt
+//     pooled solve state, and a hot fingerprint flooding one engine's queue
+//     cannot reject (or delay) traffic for graphs that live on other
+//     engines. A fixed worker pool (Config.Workers) drains the queues
+//     through a deterministic deficit round-robin scheduler: engines are
+//     visited in index order and an engine with a backlog is granted at
+//     most schedQuantum consecutive dispatches while any other engine has
+//     queued work, so a cold graph's short solve is dispatched after a
+//     bounded number of scheduler turns no matter how deep a hot
+//     fingerprint's backlog of long sparsify-strategy solves is.
 //   - Per-request deadlines. timeout_ms (clamped by Config.MaxTimeout,
 //     defaulted by Config.DefaultTimeout) becomes a context deadline that
 //     the Engine polls at its existing round and seed-batch boundaries; an
 //     expired request returns repro.ErrDeadlineExceeded (HTTP 504) and
-//     leaves its engine warm, exactly like any canceled solve.
+//     leaves its engine warm, exactly like any canceled solve. The deadline
+//     clock starts at admission, so time spent queued on the home engine
+//     counts against the request's budget, never extends it.
 //   - Content-addressed graphs. POST /v1/graphs parses an edge list once,
 //     registers it via Engine.Prepare, and returns the content fingerprint;
 //     solves may then name the graph by fingerprint instead of re-uploading
@@ -24,9 +34,12 @@
 //
 // Requests are routed to engines by graph fingerprint (fp mod engine
 // count), so repeated traffic on the same graph lands on the same warm
-// engine and prepared-graph cache. Streaming solves (stream: true) emit one
-// NDJSON line per completed round over the deterministic observer seam,
-// then a final result or error line.
+// engine and prepared-graph cache; admission and overflow are decided on
+// that same home queue. Streaming solves (stream: true) emit one NDJSON
+// line per completed round over the deterministic observer seam, then a
+// final result or error line; a client that disconnects mid-stream cancels
+// its solve at the next round or seed-batch boundary and the abandoned
+// solve's scratch context is Reset and re-pooled, keeping the engine warm.
 //
 // Determinism: the server never reorders or batches solve work — each
 // request is one Engine solve with the request's own options — so served
@@ -39,6 +52,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sync"
@@ -79,11 +93,14 @@ type Config struct {
 	// Requests route by graph fingerprint mod Engines, so traffic on one
 	// graph always hits the same warm engine and prepared-graph cache.
 	Engines int
-	// Workers is the number of concurrent solves (default GOMAXPROCS).
+	// Workers is the number of concurrent solves (default GOMAXPROCS). The
+	// pool is shared: workers drain all engine queues through the deficit
+	// round-robin scheduler.
 	Workers int
-	// QueueDepth bounds the admission queue holding accepted-but-not-yet-
-	// running requests (default 64). A full queue rejects with
-	// repro.ErrOverloaded.
+	// QueueDepth bounds each engine's admission queue holding accepted-but-
+	// not-yet-running requests (default 64 per engine). A full home queue
+	// rejects with repro.ErrOverloaded; other engines' queues are
+	// unaffected.
 	QueueDepth int
 	// DefaultTimeout applies to requests that carry no timeout_ms; 0 means
 	// no deadline.
@@ -98,11 +115,32 @@ type Config struct {
 
 // job is one admitted unit of work: run executes on a worker; abort is
 // invoked instead if shutdown drains the job before a worker picks it up.
-// done closes after whichever of the two ran.
+// done closes after whichever of the two ran. engine is the index of the
+// home engine whose queue admitted the job.
 type job struct {
-	run   func()
-	abort func(error)
-	done  chan struct{}
+	engine int
+	run    func()
+	abort  func(error)
+	done   chan struct{}
+}
+
+// schedQuantum is the deficit round-robin grant: the number of consecutive
+// dispatches one engine's queue may take while any other engine has queued
+// work. A grant above 1 keeps a small amount of dispatch affinity for a
+// backlogged engine (its prepared cache and scratch stay hot) while still
+// bounding how long any other engine's head-of-queue request can wait: a
+// job that is at position k of its engine's queue is dispatched after at
+// most k + schedQuantum·(Engines-1)·k scheduler turns, independent of how
+// deep the other queues are.
+const schedQuantum = 2
+
+// engineQueue is one engine's admission queue plus its counters; all fields
+// are guarded by Server.mu.
+type engineQueue struct {
+	jobs     []*job // FIFO of admitted-but-not-started work
+	accepted int64
+	rejected int64
+	served   int64 // jobs a worker ran to completion (any outcome)
 }
 
 // Server multiplexes solve traffic over warm engines. Construct with New,
@@ -111,11 +149,20 @@ type job struct {
 // drive them directly to compare served results against direct Engine
 // calls.
 type Server struct {
-	cfg       Config
-	engines   []*repro.Engine
-	queue     chan *job
+	cfg     Config
+	engines []*repro.Engine
+
+	// Scheduler state: per-engine queues drained by the worker pool in
+	// deficit round-robin order. mu guards queues, cursor, deficit and
+	// closed; cond wakes idle workers on enqueue and Close.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  []*engineQueue
+	cursor  int // engine the scheduler is currently serving
+	deficit int // dispatches the cursor engine may still take this turn
+	closed  bool
+
 	wg        sync.WaitGroup
-	closed    chan struct{}
 	closeOnce sync.Once
 
 	accepted  atomic.Int64
@@ -142,13 +189,11 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 64 << 20
 	}
-	s := &Server{
-		cfg:    cfg,
-		queue:  make(chan *job, cfg.QueueDepth),
-		closed: make(chan struct{}),
-	}
+	s := &Server{cfg: cfg}
+	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Engines; i++ {
 		s.engines = append(s.engines, repro.NewEngine(cfg.Options))
+		s.queues = append(s.queues, &engineQueue{})
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -157,59 +202,131 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Close stops the worker pool: in-flight solves run to completion, queued
-// jobs that never started fail with ErrServerClosed. Safe to call twice.
+// Close stops the worker pool: in-flight solves run to completion, then
+// every engine queue is drained — jobs that never started fail with
+// ErrServerClosed. Safe to call twice.
 func (s *Server) Close() {
-	s.closeOnce.Do(func() { close(s.closed) })
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	})
 	s.wg.Wait()
-	for {
-		select {
-		case j := <-s.queue:
-			j.abort(ErrServerClosed)
-			close(j.done)
-		default:
-			return
-		}
+	s.mu.Lock()
+	var drained []*job
+	for _, q := range s.queues {
+		drained = append(drained, q.jobs...)
+		q.jobs = nil
+	}
+	s.mu.Unlock()
+	for _, j := range drained {
+		j.abort(ErrServerClosed)
+		close(j.done)
 	}
 }
 
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.closed:
+		j, ok := s.nextJob()
+		if !ok {
 			return
-		case j := <-s.queue:
-			j.run()
-			close(j.done)
 		}
+		j.run()
+		s.mu.Lock()
+		s.queues[j.engine].served++
+		s.mu.Unlock()
+		close(j.done)
 	}
 }
 
-// enqueue admits a job or rejects it without blocking: ErrServerClosed
-// after Close, repro.ErrOverloaded when the queue is full. The caller waits
-// on the returned job's done channel (always closed eventually: by the
-// worker that ran it or by Close's drain).
-func (s *Server) enqueue(run func(), abort func(error)) (*job, error) {
-	select {
-	case <-s.closed:
+// nextJob blocks until the scheduler hands this worker a job, or returns
+// ok=false once the server is closed (queued jobs are then drained by
+// Close, not by workers).
+func (s *Server) nextJob() (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil, false
+		}
+		if j, ok := s.pickLocked(); ok {
+			return j, true
+		}
+		s.cond.Wait()
+	}
+}
+
+// pickLocked is the deficit round-robin dispatch decision: starting at the
+// cursor engine, the first non-empty queue is served. Entering a queue
+// grants it schedQuantum dispatches; each dispatch spends one, and the
+// cursor moves on when the grant is spent or the queue empties. The walk
+// order depends only on engine index and the grant counter, so for any
+// fixed arrival order the dispatch order is deterministic — and no engine's
+// head-of-queue job ever waits more than schedQuantum dispatches per
+// backlogged sibling engine.
+func (s *Server) pickLocked() (*job, bool) {
+	n := len(s.queues)
+	for scanned := 0; scanned < n; scanned++ {
+		q := s.queues[s.cursor]
+		if len(q.jobs) == 0 {
+			s.cursor = (s.cursor + 1) % n
+			s.deficit = 0
+			continue
+		}
+		if s.deficit <= 0 {
+			s.deficit = schedQuantum
+		}
+		j := q.jobs[0]
+		q.jobs[0] = nil // release the reference before reslicing
+		q.jobs = q.jobs[1:]
+		s.deficit--
+		if s.deficit == 0 || len(q.jobs) == 0 {
+			s.cursor = (s.cursor + 1) % n
+			s.deficit = 0
+		}
+		return j, true
+	}
+	return nil, false
+}
+
+// enqueue admits a job onto its home engine's queue or rejects it without
+// blocking: ErrServerClosed after Close, repro.ErrOverloaded when that
+// engine's queue is full (other engines' queues are not consulted — a hot
+// engine's overflow never spills onto a cold one). The caller waits on the
+// returned job's done channel (always closed eventually: by the worker
+// that ran it or by Close's drain).
+func (s *Server) enqueue(engine int, run func(), abort func(error)) (*job, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
 		return nil, ErrServerClosed
-	default:
 	}
-	j := &job{run: run, abort: abort, done: make(chan struct{})}
-	select {
-	case s.queue <- j:
-		s.accepted.Add(1)
-		return j, nil
-	default:
+	q := s.queues[engine]
+	if len(q.jobs) >= s.cfg.QueueDepth {
+		q.rejected++
+		s.mu.Unlock()
 		s.rejected.Add(1)
-		return nil, fmt.Errorf("%w: admission queue full (depth %d)", repro.ErrOverloaded, cap(s.queue))
+		return nil, fmt.Errorf("%w: engine %d admission queue full (depth %d)", repro.ErrOverloaded, engine, s.cfg.QueueDepth)
 	}
+	j := &job{engine: engine, run: run, abort: abort, done: make(chan struct{})}
+	q.jobs = append(q.jobs, j)
+	q.accepted++
+	s.mu.Unlock()
+	s.accepted.Add(1)
+	s.cond.Signal()
+	return j, nil
+}
+
+// engineIndex routes a fingerprint to its home engine's index.
+func (s *Server) engineIndex(fp repro.Fingerprint) int {
+	return int(uint64(fp) % uint64(len(s.engines)))
 }
 
 // engineFor routes a fingerprint to its home engine.
 func (s *Server) engineFor(fp repro.Fingerprint) *repro.Engine {
-	return s.engines[int(uint64(fp)%uint64(len(s.engines)))]
+	return s.engines[s.engineIndex(fp)]
 }
 
 // GraphUpload is the wire form of a graph: n nodes and an undirected edge
@@ -477,7 +594,7 @@ func (s *Server) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 	defer cancel()
 	var resp *SolveResponse
 	var serr error
-	j, err := s.enqueue(func() {
+	j, err := s.enqueue(s.engineIndex(pg.Fingerprint()), func() {
 		resp, serr = s.runSolve(sctx, pg, req.Problem, opts, nil)
 	}, func(e error) { serr = e })
 	if err != nil {
@@ -491,44 +608,76 @@ func (s *Server) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 	return resp, nil
 }
 
-// Stats is the /v1/stats snapshot.
-type Stats struct {
-	Engines        int   `json:"engines"`
-	Workers        int   `json:"workers"`
+// EngineStats is one engine's slice of the /v1/status snapshot: its queue
+// occupancy and per-engine admission counters. Served counts jobs a worker
+// ran to completion regardless of outcome (completed, canceled, expired or
+// failed solves all count — the engine did the work).
+type EngineStats struct {
+	Engine         int   `json:"engine"`
 	QueueDepth     int   `json:"queue_depth"`
 	Queued         int   `json:"queued"`
 	Accepted       int64 `json:"accepted"`
 	Rejected       int64 `json:"rejected"`
-	Completed      int64 `json:"completed"`
-	Canceled       int64 `json:"canceled"`
-	Expired        int64 `json:"expired"`
-	Failed         int64 `json:"failed"`
-	Uploads        int64 `json:"uploads"`
-	SharedUploads  int64 `json:"shared_uploads"`
+	Served         int64 `json:"served"`
 	PreparedGraphs int   `json:"prepared_graphs"`
+}
+
+// Stats is the /v1/status (and /v1/stats) snapshot. The top-level counters
+// aggregate across engines; PerEngine breaks admission down by home engine,
+// which is where it is decided — QueueDepth and Queued are per-engine
+// quantities, the top-level fields report the per-engine depth and the
+// total occupancy.
+type Stats struct {
+	Engines        int           `json:"engines"`
+	Workers        int           `json:"workers"`
+	QueueDepth     int           `json:"queue_depth"`
+	Queued         int           `json:"queued"`
+	Accepted       int64         `json:"accepted"`
+	Rejected       int64         `json:"rejected"`
+	Completed      int64         `json:"completed"`
+	Canceled       int64         `json:"canceled"`
+	Expired        int64         `json:"expired"`
+	Failed         int64         `json:"failed"`
+	Uploads        int64         `json:"uploads"`
+	SharedUploads  int64         `json:"shared_uploads"`
+	PreparedGraphs int           `json:"prepared_graphs"`
+	PerEngine      []EngineStats `json:"per_engine"`
 }
 
 // Stats returns current counters.
 func (s *Server) Stats() Stats {
-	prepared := 0
-	for _, e := range s.engines {
-		prepared += e.PreparedCount()
+	st := Stats{
+		Engines:       len(s.engines),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.cfg.QueueDepth,
+		Accepted:      s.accepted.Load(),
+		Rejected:      s.rejected.Load(),
+		Completed:     s.completed.Load(),
+		Canceled:      s.canceled.Load(),
+		Expired:       s.expired.Load(),
+		Failed:        s.failed.Load(),
+		Uploads:       s.uploads.Load(),
+		SharedUploads: s.shared.Load(),
 	}
-	return Stats{
-		Engines:        len(s.engines),
-		Workers:        s.cfg.Workers,
-		QueueDepth:     cap(s.queue),
-		Queued:         len(s.queue),
-		Accepted:       s.accepted.Load(),
-		Rejected:       s.rejected.Load(),
-		Completed:      s.completed.Load(),
-		Canceled:       s.canceled.Load(),
-		Expired:        s.expired.Load(),
-		Failed:         s.failed.Load(),
-		Uploads:        s.uploads.Load(),
-		SharedUploads:  s.shared.Load(),
-		PreparedGraphs: prepared,
+	s.mu.Lock()
+	for i, q := range s.queues {
+		st.PerEngine = append(st.PerEngine, EngineStats{
+			Engine:     i,
+			QueueDepth: s.cfg.QueueDepth,
+			Queued:     len(q.jobs),
+			Accepted:   q.accepted,
+			Rejected:   q.rejected,
+			Served:     q.served,
+		})
+		st.Queued += len(q.jobs)
 	}
+	s.mu.Unlock()
+	for i, e := range s.engines {
+		n := e.PreparedCount()
+		st.PerEngine[i].PreparedGraphs = n
+		st.PreparedGraphs += n
+	}
+	return st
 }
 
 // HTTPStatus maps the serving error taxonomy onto status codes: 429
@@ -577,7 +726,8 @@ func writeError(w http.ResponseWriter, err error) {
 // Handler returns the HTTP surface:
 //
 //	GET  /healthz     liveness
-//	GET  /v1/stats    counters (Stats)
+//	GET  /v1/status   counters incl. per-engine queue state (Stats)
+//	GET  /v1/stats    alias of /v1/status (the pre-fairness name)
 //	POST /v1/graphs   upload a graph, get its fingerprint (UploadResponse)
 //	POST /v1/solve    run a solve (SolveRequest → SolveResponse);
 //	                  stream: true switches to NDJSON round events
@@ -586,9 +736,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	status := func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
-	})
+	}
+	mux.HandleFunc("GET /v1/status", status)
+	mux.HandleFunc("GET /v1/stats", status)
 	mux.HandleFunc("POST /v1/graphs", s.handleUpload)
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	return mux
@@ -599,6 +751,14 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
 	if err := json.NewDecoder(body).Decode(v); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	// Drain the body to EOF. json.Decoder stops at the end of the JSON
+	// value, and net/http only starts the connection's background read —
+	// the mechanism that cancels r.Context() when the client disconnects —
+	// once the request body has been consumed. Without this drain an
+	// abandoned streaming solve would never see its context canceled and
+	// would burn a worker until the solve finished on its own. Bounded by
+	// MaxBytesReader above.
+	_, _ = io.Copy(io.Discard, body)
 	return nil
 }
 
@@ -704,9 +864,17 @@ func (f observerFunc) OnRound(ev repro.RoundEvent) { f(ev) }
 // are rejected with their status before any body bytes; once streaming has
 // started, a failure arrives as the final {"type":"error"} line. The event
 // channel is drained unconditionally until the solve closes it, so a slow
-// or disconnected client can stall delivery but never deadlock a worker —
-// and a disconnect cancels r.Context(), which stops the solve at its next
-// round or seed-batch boundary anyway.
+// or disconnected client can stall delivery but never deadlock a worker.
+//
+// Client disconnects must not burn a worker for the rest of the solve: the
+// solve context is a child of r.Context() (which net/http cancels when the
+// connection drops), so an abandoned stream cancels its solve at the next
+// round or seed-batch boundary — the cancel path discards the partial
+// result and re-pools the engine's scratch context Reset, exactly like a
+// deadline expiry. cancel is also wired to the disconnect explicitly below
+// so the guarantee does not depend on the handler context's parentage, and
+// the drain loop stops encoding once the client is gone (the writes could
+// only fail).
 func (s *Server) streamSolve(w http.ResponseWriter, r *http.Request, req *SolveRequest) {
 	pg, opts, err := s.validate(req)
 	if err != nil {
@@ -715,11 +883,19 @@ func (s *Server) streamSolve(w http.ResponseWriter, r *http.Request, req *SolveR
 	}
 	sctx, cancel := s.requestContext(r.Context(), req.TimeoutMS)
 	defer cancel()
+	stop := context.AfterFunc(r.Context(), cancel)
+	defer stop()
 
-	events := make(chan repro.RoundEvent, 16)
+	// Unbuffered on purpose: each observer event hands off directly to the
+	// writer goroutine, so round lines reach the client as rounds finish
+	// even on a single-core box where a CPU-bound solve would otherwise
+	// starve the writer until it blocks. The drain loop below consumes
+	// until close, so the worker can never deadlock on a send; the abort
+	// path closes the channel without sending.
+	events := make(chan repro.RoundEvent)
 	var resp *SolveResponse
 	var serr error
-	j, err := s.enqueue(func() {
+	j, err := s.enqueue(s.engineIndex(pg.Fingerprint()), func() {
 		resp, serr = s.runSolve(sctx, pg, req.Problem, opts, observerFunc(func(ev repro.RoundEvent) {
 			events <- ev
 		}))
@@ -737,10 +913,19 @@ func (s *Server) streamSolve(w http.ResponseWriter, r *http.Request, req *SolveR
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	fl, _ := w.(http.Flusher)
+	clientGone := r.Context().Done()
+	gone := false
 	for ev := range events {
-		_ = enc.Encode(StreamEvent{Type: "round", Round: roundUpdate(ev)})
-		if fl != nil {
-			fl.Flush()
+		if !gone {
+			select {
+			case <-clientGone:
+				gone = true // keep draining, stop encoding
+			default:
+				_ = enc.Encode(StreamEvent{Type: "round", Round: roundUpdate(ev)})
+				if fl != nil {
+					fl.Flush()
+				}
+			}
 		}
 	}
 	<-j.done

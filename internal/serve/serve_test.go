@@ -93,6 +93,8 @@ func sameMIS(resp *SolveResponse, want *repro.MISResult) error {
 // httptest server under concurrent mixed matching/MIS traffic — inline
 // graphs and fingerprint references, Parallelism 1/2/8 — serves results
 // byte-identical to direct Engine solves with the same graph and options.
+// The per-engine deficit scheduler changes dispatch order, never bits, and
+// its per-engine counters must reconcile exactly with the aggregates.
 func TestServedResultsMatchDirect(t *testing.T) {
 	graphs := []*repro.Graph{
 		mustGraph(t, "gnm", 512, 8, 1),
@@ -196,6 +198,25 @@ func TestServedResultsMatchDirect(t *testing.T) {
 	if st.PreparedGraphs != len(graphs) {
 		t.Fatalf("prepared %d graphs, want %d (inline re-uploads must dedup)", st.PreparedGraphs, len(graphs))
 	}
+	// Per-engine accounting must reconcile with the aggregates: every
+	// admission landed on exactly one home queue, every dispatch was served,
+	// and nothing is left queued after the barrier above.
+	var accepted, served, queued int64
+	for _, es := range st.PerEngine {
+		accepted += es.Accepted
+		served += es.Served
+		queued += int64(es.Queued)
+		if es.Rejected != 0 {
+			t.Errorf("engine %d rejected %d under clean load", es.Engine, es.Rejected)
+		}
+	}
+	if accepted != st.Accepted || served != st.Completed || queued != 0 {
+		t.Fatalf("per-engine counters do not reconcile (accepted %d/%d, served %d/%d, queued %d): %+v",
+			accepted, st.Accepted, served, st.Completed, queued, st.PerEngine)
+	}
+	if len(st.PerEngine) != 2 {
+		t.Fatalf("status reports %d engines, want 2", len(st.PerEngine))
+	}
 }
 
 // TestServeUploadDedup: identical content (any edge order) shares one
@@ -250,12 +271,12 @@ func TestServeOverload(t *testing.T) {
 	// the depth-1 buffer is free — then fill the queue.
 	block := make(chan struct{})
 	started := make(chan struct{})
-	parked, err := s.enqueue(func() { close(started); <-block }, func(error) {})
+	parked, err := s.enqueue(0, func() { close(started); <-block }, func(error) {})
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-started
-	queued, err := s.enqueue(func() {}, func(error) {})
+	queued, err := s.enqueue(0, func() {}, func(error) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,14 +336,29 @@ func TestServeDeadlineKeepsEngineWarm(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// A deadline the solve cannot meet: cancellation fires at a round or
-	// seed-batch boundary, the partial result is discarded, the scratch
-	// context goes back to the pool Reset.
+	// A deadline the request cannot meet: the deadline clock starts at
+	// admission and covers queue wait, so parking the only worker ahead of
+	// the request guarantees expiry regardless of how fast the solve itself
+	// has become (the engine sees an already-expired context and abandons
+	// at its first cancellation poll; the scratch context goes back to the
+	// pool Reset). PR 8 made the n=2048 sparsify solve fast enough to beat
+	// a 2ms deadline outright, which is why this test parks instead of
+	// racing the solver.
+	park := func() {
+		t.Helper()
+		j, err := s.enqueue(0, func() { time.Sleep(50 * time.Millisecond) }, func(error) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { <-j.done })
+	}
 	expired := &SolveRequest{Problem: ProblemMatching, Fingerprint: repro.FingerprintOf(g).String(), TimeoutMS: 2}
+	park()
 	_, err := s.Solve(context.Background(), expired)
 	if !errors.Is(err, repro.ErrDeadlineExceeded) || !errors.Is(err, repro.ErrCanceled) {
 		t.Fatalf("expired solve: err = %v, want ErrDeadlineExceeded (refining ErrCanceled)", err)
 	}
+	park()
 	httpResp, body := postJSON(t, ts.URL+"/v1/solve", expired)
 	if httpResp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("expired HTTP solve: status %d, want 504 (%s)", httpResp.StatusCode, body)
@@ -477,12 +513,12 @@ func TestHTTPStatusMapping(t *testing.T) {
 func TestServeClose(t *testing.T) {
 	s := New(Config{Workers: 1, QueueDepth: 4})
 	block := make(chan struct{})
-	parked, err := s.enqueue(func() { <-block }, func(error) {})
+	parked, err := s.enqueue(0, func() { <-block }, func(error) {})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var abortErr error
-	queued, err := s.enqueue(func() {}, func(e error) { abortErr = e })
+	queued, err := s.enqueue(0, func() {}, func(e error) { abortErr = e })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -502,7 +538,7 @@ func TestServeClose(t *testing.T) {
 	if abortErr != nil && !errors.Is(abortErr, ErrServerClosed) {
 		t.Fatalf("drained job error = %v, want ErrServerClosed or nil (ran before shutdown)", abortErr)
 	}
-	if _, err := s.enqueue(func() {}, func(error) {}); !errors.Is(err, ErrServerClosed) {
+	if _, err := s.enqueue(0, func() {}, func(error) {}); !errors.Is(err, ErrServerClosed) {
 		t.Fatalf("post-Close enqueue: err = %v, want ErrServerClosed", err)
 	}
 	g := mustGraph(t, "path", 8, 2, 1)
