@@ -11,11 +11,15 @@ BENCH_OUT ?= BENCH_results.json
 # numbers on a dedicated box (e.g. make bench-save BENCH_TIME=2s).
 BENCH_TIME ?= 1x
 BENCH_DATE := $(shell date +%F)
+# latest-baseline picks the newest committed baseline matching a glob:
+# names sort chronologically under LC_ALL=C (locale collation would order
+# same-day letter suffixes before the bare date and silently pick a stale
+# baseline). Shared by BENCH_BASELINE and LOADGEN_BASELINE so the two
+# compare paths cannot drift apart.
+latest-baseline = $(shell ls $(1) 2>/dev/null | LC_ALL=C sort | tail -1)
 # The committed baseline the compare step diffs against: the latest
-# BENCH_<date>*.json at the repo root (names sort chronologically under
-# LC_ALL=C — locale collation would order same-day letter suffixes before
-# the bare date and silently pick a stale baseline).
-BENCH_BASELINE ?= $(shell ls BENCH_2*.json 2>/dev/null | LC_ALL=C sort | tail -1)
+# BENCH_<date>*.json at the repo root.
+BENCH_BASELINE ?= $(call latest-baseline,BENCH_2*.json)
 # Benchmarks whose ns/op regression beyond 20% draws a warning (never a
 # failure): the seed-search kernel, its isolated edge- and node-side
 # selection scans and blocked hash term, and the warm-Engine reuse pairs.
@@ -25,16 +29,16 @@ BENCH_WARN ?= BenchmarkT7_SeedSearch|BenchmarkT7_SelectionScan|BenchmarkT7_NodeS
 # out of three no longer reads as a regression in bench-compare.
 BENCH_COUNT ?= 3
 
-.PHONY: build build-cmds build-cross test race race-engine bench bench-smoke bench-save bench-compare serve-smoke serve-compare profile clean fmt fmt-check vet ci
+.PHONY: build build-cmds build-cross test race race-engine bench bench-smoke bench-save bench-compare serve-smoke serve-compare profile clean fmt fmt-check vet lint audit ci
 
 # serve-smoke knobs: where detservd listens and where loadgen writes its
 # latency quantiles (archived as a CI artifact next to $(BENCH_OUT)).
 SERVE_ADDR ?= 127.0.0.1:17317
 LOADGEN_OUT ?= LOADGEN_results.json
 # The committed serving baseline serve-compare diffs against: the latest
-# LOADGEN_<date>*.json at the repo root (same LC_ALL=C ordering rationale
-# as BENCH_BASELINE above).
-LOADGEN_BASELINE ?= $(shell ls LOADGEN_2*.json 2>/dev/null | LC_ALL=C sort | tail -1)
+# LOADGEN_<date>*.json at the repo root (via the same latest-baseline
+# helper as BENCH_BASELINE).
+LOADGEN_BASELINE ?= $(call latest-baseline,LOADGEN_2*.json)
 # Every loadgen quantile warns on regression — total-latency p50/p99 and
 # the streaming time-to-first-round (ttfr) cells alike.
 LOADGEN_WARN ?= ^Loadgen
@@ -141,6 +145,7 @@ serve-smoke:
 # Run `make bench-smoke` (or CI's bench-smoke job) first.
 bench-compare:
 	@if [ -z "$(BENCH_BASELINE)" ]; then echo "bench-compare: no committed BENCH_*.json baseline"; exit 1; fi
+	@echo "bench-compare: diffing $(BENCH_OUT) against baseline $(BENCH_BASELINE)"
 	$(GO) run ./cmd/benchjson -input $(BENCH_OUT) -compare $(BENCH_BASELINE) -warn '$(BENCH_WARN)' -warn-pct 20
 
 # Diff a serve-smoke result ($(LOADGEN_OUT)) against the committed
@@ -152,6 +157,7 @@ bench-compare:
 # Run `make serve-smoke` first.
 serve-compare:
 	@if [ -z "$(LOADGEN_BASELINE)" ]; then echo "serve-compare: no committed LOADGEN_*.json baseline"; exit 1; fi
+	@echo "serve-compare: diffing $(LOADGEN_OUT) against baseline $(LOADGEN_BASELINE)"
 	$(GO) run ./cmd/benchjson -input $(LOADGEN_OUT) -compare $(LOADGEN_BASELINE) -warn '$(LOADGEN_WARN)' -warn-pct 25
 
 # CPU profiles of the three selection-bound pipelines (T2 MIS, T5 lowdeg
@@ -174,7 +180,7 @@ profile:
 # untouched. Runs as the `make ci` teardown; CI jobs upload their artifacts
 # from their own steps before this would matter.
 clean:
-	rm -f *.test .tmp-detservd .tmp-loadgen .tmp-detservd.pid .tmp-detservd.log $(BENCH_OUT) $(LOADGEN_OUT)
+	rm -f *.test .tmp-detservd .tmp-loadgen .tmp-detservd.pid .tmp-detservd.log .tmp-detlint $(BENCH_OUT) $(LOADGEN_OUT)
 	rm -rf profiles
 
 fmt:
@@ -186,4 +192,31 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: build build-cmds build-cross vet fmt-check race race-engine bench-smoke serve-smoke clean
+# detlint: the in-tree analyzer suite (cmd/detlint, internal/lint)
+# mechanically enforcing the determinism and allocation contracts —
+# no raw goroutines or map-range iteration in solver packages, no
+# math/rand / wall clock / environment reads on solver paths, no
+# unstable sort.Slice anywhere, no captured-float folds in parallel
+# shard bodies, no allocation in //det:hotpath kernels. Exemptions are
+# explicit in the source as //det:allow <analyzer> <reason>; unused or
+# malformed directives fail the run too. The binary is built fresh from
+# the tree (stdlib-only, seconds) so the checker can never lag the
+# contracts it enforces; `make clean` removes it.
+lint:
+	$(GO) build -o .tmp-detlint ./cmd/detlint
+	./.tmp-detlint ./...
+
+# Pinned third-party audits, invoked via `go run pkg@version` so nothing
+# is ever added to go.mod: staticcheck (correctness/style) and
+# govulncheck (known-vulnerability reachability). Network-dependent —
+# go run fetches the pinned tool and govulncheck queries the vuln DB —
+# so this is deliberately NOT part of `make ci`; CI runs it as a
+# separate advisory (continue-on-error) job, and offline runs fail fast
+# at the download step without affecting anything else.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+audit:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+ci: build build-cmds build-cross vet fmt-check lint race race-engine bench-smoke serve-smoke clean

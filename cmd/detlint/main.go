@@ -1,0 +1,71 @@
+// Command detlint runs the repo's determinism and allocation analyzers
+// (internal/lint) over a set of packages and exits nonzero if any
+// diagnostic survives //det:allow suppression.
+//
+// Usage:
+//
+//	detlint [-list] [-v] [packages]
+//
+// With no packages, ./... is analyzed. Test files are deliberately out
+// of scope: the invariants guard solver and serving code, and tests
+// legitimately spawn goroutines, read clocks and draw from math/rand to
+// attack that code. `make lint` builds and runs this binary; the suite
+// and the directive syntax are documented in doc.go ("Static
+// enforcement") and internal/lint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	verbose := flag.Bool("v", false, "print per-package progress")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: detlint [-list] [-v] [packages]\n\nAnalyzers:\n")
+		printAnalyzers(flag.CommandLine.Output())
+	}
+	flag.Parse()
+
+	if *list {
+		printAnalyzers(os.Stdout)
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := load.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, pkg := range res.Targets() {
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "detlint: %s\n", pkg.PkgPath)
+		}
+		for _, d := range lint.Run(res, pkg) {
+			fmt.Printf("%s: [%s] %s\n", res.Fset.Position(d.Pos), d.Analyzer, d.Message)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}
+
+func printAnalyzers(w interface{ Write([]byte) (int, error) }) {
+	for _, a := range lint.Analyzers {
+		fmt.Fprintf(w, "  %-14s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(w, "  %-14s %s\n", "detdirective", "validate //det:allow and //det:hotpath directives (malformed, unknown analyzer, unused)")
+}

@@ -42,10 +42,11 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"maps"
 	"math"
 	"net/http"
 	"os"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -385,8 +386,8 @@ func quantile(sorted []time.Duration, f float64) time.Duration {
 }
 
 func (s *sample) quantiles(cell string, c int) []result {
-	sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
-	sort.Slice(s.ttfrs, func(i, j int) bool { return s.ttfrs[i] < s.ttfrs[j] })
+	slices.Sort(s.latencies)
+	slices.Sort(s.ttfrs)
 	metrics := map[string]float64{
 		"rejected": float64(s.rejected),
 		"failed":   float64(s.failed),
@@ -429,12 +430,7 @@ func (s *sample) quantiles(cell string, c int) []result {
 // cellOrder returns the sample keys in a stable order so the output file
 // is diffable run to run.
 func cellOrder(m map[string]*sample) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
+	return slices.Sorted(maps.Keys(m))
 }
 
 // runLevel fires the plan at concurrency c and buckets latencies by

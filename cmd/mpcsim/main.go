@@ -12,7 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"sort"
+	"slices"
 
 	"repro/internal/detrand"
 	"repro/internal/mpc"
@@ -43,7 +43,7 @@ func main() {
 		log.Fatal(err)
 	}
 	sorted := c.GatherAll()
-	ok := sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	ok := slices.IsSorted(sorted)
 	total, err := mpc.PrefixSum(c)
 	if err != nil {
 		log.Fatal(err)

@@ -289,4 +289,54 @@
 // (outputs compared across Parallelism 1, 2 and 8 on several graph
 // families) under the race detector; see parallel_determinism_test.go and
 // .github/workflows/ci.yml.
+//
+// # Static enforcement
+//
+// The determinism and allocation contracts above are not just prose: an
+// in-tree analyzer suite (internal/lint, driven by cmd/detlint, run as
+// `make lint` and as the CI lint step) mechanically rejects the
+// constructs that break them, at compile-review time rather than when a
+// golden test flakes. Five analyzers:
+//
+//   - nogoroutine — no raw `go` statements outside internal/parallel
+//     (the deterministic worker pool is the only sanctioned concurrency
+//     primitive on solver paths; internal/serve, cmd/ and examples/ are
+//     exempt because concurrency is their product).
+//   - nomaprange — no `range` over a map in the solver packages
+//     (internal/lint.SolverPackages), whose iteration order the runtime
+//     deliberately randomizes. A loop whose body provably aggregates
+//     order-insensitively (integer counters, commutative integer op=,
+//     delete from the ranged map) passes; anything richer must sort the
+//     keys first (slices.Sorted(maps.Keys(m))) or carry an annotation.
+//   - nondetsource — in solver packages, no math/rand (internal/detrand
+//     is the sanctioned seeded source), no wall clock (time.Now,
+//     time.Since), no environment reads (os.Getenv); repo-wide, no
+//     unstable sort.Slice/SliceStable/SliceIsSorted — use the slices
+//     package, which is both stable-by-construction for full orders and
+//     allocation-free.
+//   - floatfold — no floating-point accumulation into variables captured
+//     by a closure passed to an internal/parallel entry point: float
+//     folds in goroutine completion order drift with the worker count
+//     even though each shard is exact (the sparsify carry bug class).
+//     Per-shard partials written to disjoint indexed state and reduced
+//     in shard order afterwards are the sanctioned pattern and are not
+//     flagged.
+//   - hotalloc — inside functions annotated //det:hotpath (the *Into/*In
+//     round loops, the EvalSeeds* kernels, the fold scatter/select
+//     primitives), every allocating construct is flagged: append, make,
+//     new, map/slice composite literals, and capturing closures. This is
+//     the static half of the warm-engine discipline whose aggregate the
+//     TestEngineWarmReuseAllocs* budgets meter.
+//
+// Deliberate exemptions are inline and greppable:
+//
+//	//det:allow <analyzer> <reason>
+//
+// suppresses one analyzer on one line (trailing form covers its own
+// line; a directive on a line of its own covers the next line), and the
+// reason is mandatory. Malformed directives, directives naming an
+// unknown analyzer, and directives that suppress nothing are themselves
+// diagnostics, so a typo'd exemption can never silently excuse a real
+// violation. `detlint -list` prints the suite; internal/lint documents
+// the scope table.
 package repro

@@ -23,6 +23,7 @@ package cclique
 
 import (
 	"fmt"
+	"maps"
 	"math"
 
 	"repro/internal/check"
@@ -78,13 +79,11 @@ func (m *Model) Rounds() int {
 
 // RoundsByLabel returns a copy of the per-label round counts.
 func (m *Model) RoundsByLabel() map[string]int {
-	out := map[string]int{}
 	if m == nil {
-		return out
+		return map[string]int{}
 	}
-	for k, v := range m.byLabel {
-		out[k] = v
-	}
+	out := make(map[string]int, len(m.byLabel))
+	maps.Copy(out, m.byLabel)
 	return out
 }
 

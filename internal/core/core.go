@@ -612,6 +612,8 @@ func LocalMinEdgesZ(s *EdgeMinScratch, estar *graph.Graph, edges []graph.Edge, z
 // a call costs O(|edges|): only the endpoints the round's edge list touches
 // are ever (re)initialised, not the full id space. The returned slice
 // aliases s.out and is valid until the next call with the same scratch.
+//
+//det:hotpath
 func LocalMinEdgesSel(s *EdgeMinScratch, sel *EdgeSel, z []uint64) []graph.Edge {
 	edges, ekeys := sel.edges, sel.ekeys
 	if len(z) != len(edges) {
@@ -719,7 +721,7 @@ func LocalMinEdgesSel(s *EdgeMinScratch, sel *EdgeSel, z []uint64) []graph.Edge 
 	out := s.out[:0]
 	for idx, e := range edges {
 		if k := keys[idx]; min1[e.U] == k && min1[e.V] == k {
-			out = append(out, e)
+			out = append(out, e) //det:allow hotalloc arena-backed s.out reuses prior-round capacity, growth only on cold solves
 		}
 	}
 	s.out = out
@@ -956,6 +958,8 @@ func (sel *NodeSel) Keys() []uint64 { return sel.keys }
 // iteration order are exactly those of LocalMinNodesZ with inQ = the mask
 // Init saw, so results are bit-identical while the scan touches only
 // candidates and their incidences, never the full id space.
+//
+//det:hotpath
 func LocalMinNodesSel(dst []graph.NodeID, q *graph.Graph, sel *NodeSel, z []uint64) []graph.NodeID {
 	if len(z) < len(sel.live) {
 		panic("core: LocalMinNodesSel z vector shorter than live set")
@@ -974,7 +978,7 @@ func LocalMinNodesSel(dst []graph.NodeID, q *graph.Graph, sel *NodeSel, z []uint
 				}
 			}
 			if isMin {
-				out = append(out, v)
+				out = append(out, v) //det:allow hotalloc appends into caller-grown dst, capacity reserved by the scratch arena
 			}
 		}
 		return out
@@ -989,7 +993,7 @@ func LocalMinNodesSel(dst []graph.NodeID, q *graph.Graph, sel *NodeSel, z []uint
 			}
 		}
 		if isMin {
-			out = append(out, v)
+			out = append(out, v) //det:allow hotalloc appends into caller-grown dst, capacity reserved by the scratch arena
 		}
 	}
 	return out
@@ -1026,17 +1030,19 @@ type NodeFold struct {
 // current round has overwritten. Rows are reused across calls within one
 // round (see the type comment); s is the seed-group width, so the tables
 // for a whole condexp.BlockSeeds group fit one call.
+//
+//det:hotpath
 func (f *NodeFold) Tables(sel *NodeSel, s int) [][]uint64 {
 	n := sel.n
 	if need := s * n; cap(f.buf) < need {
-		f.buf = make([]uint64, need)
+		f.buf = make([]uint64, need) //det:allow hotalloc table realloc on first use or growth, wiped and reused across rounds
 		f.wiped = 0
 	}
 	if f.owner != sel || f.gen != sel.gen || f.n != n {
 		f.owner, f.gen, f.n, f.wiped = sel, sel.gen, n, 0
 	}
 	if cap(f.rows) < s {
-		f.rows = make([][]uint64, s)
+		f.rows = make([][]uint64, s) //det:allow hotalloc table realloc on first use or growth, wiped and reused across rounds
 	}
 	rows := f.rows[:s]
 	for i := range rows {
@@ -1059,6 +1065,8 @@ func (f *NodeFold) Tables(sel *NodeSel, s int) [][]uint64 {
 // of a seed in ascending order leaves the table identical to a full-vector
 // scatter; the store is a plain overwrite (each live slot is written exactly
 // once per seed), which is what makes the once-per-round wipe sound.
+//
+//det:hotpath
 func NodeFoldScatter(tab []uint64, sel *NodeSel, lo, hi int, z []uint64) {
 	b := sel.idBits
 	for i, v := range sel.live[lo:hi] {
@@ -1076,6 +1084,8 @@ func NodeFoldScatter(tab []uint64, sel *NodeSel, lo, hi int, z []uint64) {
 // Output compaction is branchless (unconditional store, flag-advanced
 // cursor): whether a candidate survives is hash-random, so a conditional
 // append would mispredict on a large fraction of candidates.
+//
+//det:hotpath
 func NodeFoldSelect(dst []graph.NodeID, q *graph.Graph, sel *NodeSel, tab []uint64) []graph.NodeID {
 	live := sel.live
 	out := graph.Grow(dst, len(live))[:len(live)]
@@ -1102,6 +1112,8 @@ func NodeFoldSelect(dst []graph.NodeID, q *graph.Graph, sel *NodeSel, tab []uint
 // dense/stamped/eager equivalence table in core's tests pins it — so the
 // objectives route every full-vector selection through here and let the
 // plan pick the discipline per round.
+//
+//det:hotpath
 func LocalMinNodesSelIn(f *NodeFold, dst []graph.NodeID, q *graph.Graph, sel *NodeSel, z []uint64) []graph.NodeID {
 	if !sel.dense {
 		return LocalMinNodesSel(dst, q, sel, z)
@@ -1137,13 +1149,15 @@ type EdgeFold struct {
 // per seed of a condexp.BlockSeeds group, wiped eagerly because the fold
 // merges with min (a stale smaller key from a previous group would
 // corrupt).
+//
+//det:hotpath
 func (f *EdgeFold) Begin(sel *EdgeSel, s int) [][]uint64 {
 	n := sel.n
 	if need := s * n; cap(f.buf) < need {
-		f.buf = make([]uint64, need)
+		f.buf = make([]uint64, need) //det:allow hotalloc table realloc on first use or growth, wiped and reused across rounds
 	}
 	if cap(f.rows) < s {
-		f.rows = make([][]uint64, s)
+		f.rows = make([][]uint64, s) //det:allow hotalloc table realloc on first use or growth, wiped and reused across rounds
 	}
 	rows := f.rows[:s]
 	for i := range rows {
@@ -1159,6 +1173,8 @@ func (f *EdgeFold) Begin(sel *EdgeSel, s int) [][]uint64 {
 // and each edge updates both endpoint slots with its packed (z, other
 // endpoint) key. Merges are the load–min–store shape the compiler lowers to
 // conditional moves, mirroring the dense branch of LocalMinEdgesSel.
+//
+//det:hotpath
 func EdgeFoldScatter(tab []uint64, sel *EdgeSel, lo, hi int, z []uint64) {
 	b := sel.foldBits
 	edges := sel.edges
@@ -1186,6 +1202,8 @@ func EdgeFoldScatter(tab []uint64, sel *EdgeSel, lo, hi int, z []uint64) {
 // scan walks ids ascending and emits at the smaller endpoint; selected edges
 // form a matching (distinct smaller endpoints), so the output is exactly the
 // canonical-edge-order output of LocalMinEdgesSel's compaction pass.
+//
+//det:hotpath
 func EdgeFoldDecode(dst []graph.Edge, tab []uint64, sel *EdgeSel) []graph.Edge {
 	b := sel.foldBits
 	mask := uint64(1)<<b - 1
@@ -1200,7 +1218,7 @@ func EdgeFoldDecode(dst []graph.Edge, tab []uint64, sel *EdgeSel) []graph.Edge {
 			continue
 		}
 		if tab[v] == t&^mask|uint64(u) {
-			out = append(out, graph.Edge{U: graph.NodeID(u), V: graph.NodeID(v)})
+			out = append(out, graph.Edge{U: graph.NodeID(u), V: graph.NodeID(v)}) //det:allow hotalloc appends into caller-grown dst, capacity reserved by the scratch arena
 		}
 	}
 	return out

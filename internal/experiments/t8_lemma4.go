@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/detrand"
 	"repro/internal/mpc"
@@ -44,7 +44,7 @@ func RunT8(cfg Config) []*tablefmt.Table {
 		}
 		sortRounds := c.Stats().RoundsByLabel()["sort"]
 		sorted := c.GatherAll()
-		ok := sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		ok := slices.IsSorted(sorted)
 
 		if _, err := mpc.PrefixSum(c); err != nil {
 			panic(err)

@@ -44,6 +44,8 @@ func (e *Evaluator) Family() Family { return e.fam }
 // be < P (the same contract as Eval), and len(out) must be at least
 // len(keys). Output slots beyond len(keys) and any dirty prior contents of
 // out are never read, so pooled per-worker buffers can be passed as-is.
+//
+//det:hotpath
 func (e *Evaluator) EvalKeys(seed, keys, out []uint64) []uint64 {
 	k := e.fam.k
 	if len(seed) != k {
@@ -64,13 +66,15 @@ func (e *Evaluator) EvalKeys(seed, keys, out []uint64) []uint64 {
 
 // reduceSeed reduces the seed's coefficients mod p into cbuf (or a fresh
 // slice for families wider than the stack array).
+//
+//det:hotpath
 func (e *Evaluator) reduceSeed(seed []uint64, cbuf *[8]uint64) []uint64 {
 	k := e.fam.k
 	var c []uint64
 	if k <= len(cbuf) {
 		c = cbuf[:k]
 	} else {
-		c = make([]uint64, k)
+		c = make([]uint64, k) //det:allow hotalloc fallback for families wider than the stack array, amortised over the key vector
 	}
 	for i, s := range seed {
 		c[i] = e.red.Mod(s)
@@ -81,6 +85,8 @@ func (e *Evaluator) reduceSeed(seed []uint64, cbuf *[8]uint64) []uint64 {
 // evalReduced evaluates the family polynomial with pre-reduced coefficients
 // over a key range. It is the shard body of EvalKeysW — out[i] depends only
 // on keys[i] and c, so disjoint subranges can be evaluated concurrently.
+//
+//det:hotpath
 func (e *Evaluator) evalReduced(c, keys, out []uint64) {
 	red := e.red
 	switch len(c) {
@@ -124,6 +130,8 @@ const blockedKeyGrain = BlockKeyGrain
 // key must be < P, and each of the first len(seeds) rows of out must have at
 // least len(keys) entries. Dirty row contents and slots beyond len(keys) are
 // never read, so tile rows drawn from internal/scratch can be passed as-is.
+//
+//det:hotpath
 func (e *Evaluator) EvalSeedsBlocked(seeds [][]uint64, keys []uint64, out [][]uint64) {
 	k := e.fam.k
 	S := len(seeds)
@@ -150,7 +158,7 @@ func (e *Evaluator) EvalSeedsBlocked(seeds [][]uint64, keys []uint64, out [][]ui
 	if S*k <= len(cstack) {
 		cs = cstack[:S*k]
 	} else {
-		cs = make([]uint64, S*k)
+		cs = make([]uint64, S*k) //det:allow hotalloc fallback for seed batches wider than the stack array, amortised over S key sweeps
 	}
 	for s, seed := range seeds {
 		c := cs[s*k : (s+1)*k]
@@ -207,6 +215,8 @@ func (e *Evaluator) EvalSeedsBlocked(seeds [][]uint64, keys []uint64, out [][]ui
 // len(seeds) tile rows must have at least min(BlockKeyGrain, len(keys))
 // entries; dirty row contents are never read. With no seeds or no keys the
 // callback is never invoked.
+//
+//det:hotpath
 func (e *Evaluator) EvalSeedsBlockedFold(seeds [][]uint64, keys []uint64, tile [][]uint64, fold func(lo, hi int)) {
 	k := e.fam.k
 	S := len(seeds)
@@ -233,7 +243,7 @@ func (e *Evaluator) EvalSeedsBlockedFold(seeds [][]uint64, keys []uint64, tile [
 	if S*k <= len(cstack) {
 		cs = cstack[:S*k]
 	} else {
-		cs = make([]uint64, S*k)
+		cs = make([]uint64, S*k) //det:allow hotalloc fallback for seed batches wider than the stack array, amortised over S key sweeps
 	}
 	for s, seed := range seeds {
 		c := cs[s*k : (s+1)*k]

@@ -1,0 +1,59 @@
+// Package analysis is a dependency-free subset of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects the
+// parsed and type-checked syntax of one package and reports
+// position-tagged diagnostics through its Pass.
+//
+// The repo's module is deliberately dependency-free (go.mod pins the
+// toolchain and nothing else), so detlint cannot import the x/tools
+// framework; this package keeps the same shape — Analyzer{Name, Doc,
+// Run}, Pass with Fset/Files/Pkg/TypesInfo, Reportf — so the analyzers
+// in internal/lint/analyzers read like ordinary vet analyzers and could
+// be ported onto the real framework by swapping one import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker. Name is the identifier used
+// by //det:allow directives and diagnostics; Doc is the one-paragraph
+// contract it enforces.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one package's worth of material to an Analyzer.Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// InSolverScope is set by the driver when the package is one of the
+	// solver packages bound by the full determinism contract (see
+	// internal/lint.SolverPackages). Analyzers with repo-wide rules and
+	// stricter solver-only rules (nondetsource) branch on it.
+	InSolverScope bool
+
+	// Report delivers one diagnostic. The driver layers //det:allow
+	// suppression on top, so analyzers always report unconditionally.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}

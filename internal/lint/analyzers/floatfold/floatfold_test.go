@@ -1,0 +1,12 @@
+package floatfold_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analyzers/floatfold"
+	"repro/internal/lint/linttest"
+)
+
+func TestFloatFold(t *testing.T) {
+	linttest.Run(t, floatfold.Analyzer, "../../testdata/src/floatfold", linttest.Config{})
+}

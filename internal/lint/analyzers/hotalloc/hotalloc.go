@@ -1,0 +1,143 @@
+// Package hotalloc enforces the scratch-arena discipline inside
+// functions annotated //det:hotpath: the warm-Engine contract says
+// re-solves allocate a small constant, and the aggregate
+// TestEngineWarmReuseAllocs* budgets only catch a leak after it has
+// been merged. Inside an annotated function the analyzer flags every
+// construct that can allocate on the steady-state path:
+//
+//   - append, make, new (growth or fresh backing store — hot paths draw
+//     buffers from internal/scratch arenas sized up front)
+//   - map and slice composite literals
+//   - function literals that capture variables (escaping closures
+//     allocate their capture frame; hoist to a method or pass state
+//     explicitly)
+//
+// Setup-time allocations that deliberately live inside an annotated
+// function carry
+//
+//	//det:allow hotalloc <reason>
+//
+// so the exemption — like every other — is greppable and explained.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag allocating constructs inside //det:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn) {
+				continue
+			}
+			checkBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+func isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == directive.Prefix+"hotpath" || strings.HasPrefix(c.Text, directive.Prefix+"hotpath ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var funcLits []*ast.FuncLit
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := builtinName(pass, n.Fun); ok {
+				switch name {
+				case "append":
+					pass.Reportf(n.Pos(), "append in //det:hotpath %s: growth allocates; reserve capacity in the scratch arena up front", fn.Name.Name)
+				case "make":
+					pass.Reportf(n.Pos(), "make in //det:hotpath %s: draw the buffer from the scratch arena instead of allocating per call", fn.Name.Name)
+				case "new":
+					pass.Reportf(n.Pos(), "new in //det:hotpath %s: draw the value from the scratch arena instead of allocating per call", fn.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal in //det:hotpath %s: allocates a fresh table; reuse an epoch-stamped or arena-backed table", fn.Name.Name)
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal in //det:hotpath %s: allocates a fresh backing array; draw it from the scratch arena", fn.Name.Name)
+			}
+		case *ast.FuncLit:
+			funcLits = append(funcLits, n)
+		}
+		return true
+	})
+	for _, lit := range funcLits {
+		if captures(pass, fn, lit) {
+			pass.Reportf(lit.Pos(), "capturing closure in //det:hotpath %s: escaping closures allocate their capture frame; hoist to a method or pass the state explicitly", fn.Name.Name)
+		}
+	}
+}
+
+func builtinName(pass *analysis.Pass, fun ast.Expr) (string, bool) {
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	if !ok {
+		return "", false
+	}
+	return b.Name(), true
+}
+
+// captures reports whether lit references a non-package-level variable
+// declared inside fn but outside lit. Capture-free literals compile to
+// static functions and do not allocate.
+func captures(pass *analysis.Pass, fn *ast.FuncDecl, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package-level
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // the literal's own locals/params
+		}
+		if v.Pos() >= fn.Pos() && v.Pos() <= fn.End() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

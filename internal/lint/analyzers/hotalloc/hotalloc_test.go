@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analyzers/hotalloc"
+	"repro/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, hotalloc.Analyzer, "../../testdata/src/hotalloc", linttest.Config{})
+}

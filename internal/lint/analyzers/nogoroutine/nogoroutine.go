@@ -1,0 +1,58 @@
+// Package nogoroutine flags raw concurrency primitives outside the
+// sanctioned packages. The determinism contract routes every parallel
+// hot loop through internal/parallel (deterministic sharding, shard-
+// order folds); a stray `go` statement or hand-rolled sync.WaitGroup
+// fan-out reintroduces scheduling-dependent behaviour that the
+// worker-count-independence tables cannot always catch. The driver
+// exempts internal/parallel, internal/serve, cmd/ and examples/; inside
+// any other package, escape with
+//
+//	//det:allow nogoroutine <reason>
+package nogoroutine
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nogoroutine",
+	Doc:  "flag go statements and sync.WaitGroup fan-out outside internal/parallel and the serving/command layers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "raw go statement: parallel fan-out must go through internal/parallel so results stay worker-count independent")
+			case *ast.SelectorExpr:
+				if isWaitGroupType(pass, n) {
+					pass.Reportf(n.Pos(), "sync.WaitGroup fan-out: use internal/parallel (deterministic sharding + shard-order folds) instead of hand-rolled goroutine groups")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isWaitGroupType reports whether sel is the type expression
+// sync.WaitGroup (a declaration, field, or parameter of that type —
+// the root of any hand-rolled fan-out). Method calls on an existing
+// WaitGroup value are not re-flagged; the declaration is the finding.
+func isWaitGroupType(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	tv, ok := pass.TypesInfo.Types[sel]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

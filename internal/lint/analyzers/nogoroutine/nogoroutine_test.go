@@ -1,0 +1,12 @@
+package nogoroutine_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analyzers/nogoroutine"
+	"repro/internal/lint/linttest"
+)
+
+func TestNoGoroutine(t *testing.T) {
+	linttest.Run(t, nogoroutine.Analyzer, "../../testdata/src/nogoroutine", linttest.Config{})
+}

@@ -1,0 +1,140 @@
+// Package nomaprange flags `range` over a map in solver packages. Map
+// iteration order is deliberately randomized by the runtime, so any
+// map-range whose body is order-sensitive (appends, writes keyed on
+// iteration order, float accumulation, min/max with ties) breaks the
+// bit-identical-at-any-worker-count contract in a way that only
+// surfaces when a golden test flakes.
+//
+// A loop is accepted without annotation only when its body provably
+// aggregates order-insensitively: every statement is an integer
+// increment/decrement, an integer commutative compound assignment
+// (+=, |=, &=, ^=) whose right side does not read the accumulator, or
+// a delete from the ranged map itself. Anything richer needs the keys
+// sorted first (slices.Sorted(maps.Keys(m))) or an explicit
+//
+//	//det:allow nomaprange <reason>
+package nomaprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nomaprange",
+	Doc:  "flag range over a map in solver packages unless the body aggregates order-insensitively",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitive(pass, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "range over map %s: iteration order is nondeterministic; sort the keys first (slices.Sorted(maps.Keys(m))) or annotate //det:allow nomaprange <reason>", types.ExprString(rng.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// orderInsensitive reports whether every statement of the loop body is
+// one of the whitelisted commutative aggregations.
+func orderInsensitive(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) == 0 {
+		return true
+	}
+	for _, stmt := range rng.Body.List {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			if !isIntegral(pass, s.X) {
+				return false
+			}
+		case *ast.AssignStmt:
+			if !commutativeIntAssign(pass, s) {
+				return false
+			}
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok || !deleteFromRanged(pass, call, rng) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isIntegral(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// commutativeIntAssign accepts `acc op= rhs` for commutative,
+// associative integer ops where rhs does not read acc (so the fold is
+// independent of visit order).
+func commutativeIntAssign(pass *analysis.Pass, s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+	default:
+		return false
+	}
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := s.Lhs[0].(*ast.Ident)
+	if !ok || !isIntegral(pass, lhs) {
+		return false
+	}
+	acc := pass.TypesInfo.ObjectOf(lhs)
+	if acc == nil {
+		return false
+	}
+	reads := false
+	ast.Inspect(s.Rhs[0], func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == acc {
+			reads = true
+		}
+		return !reads
+	})
+	return !reads
+}
+
+// deleteFromRanged accepts `delete(m, k)` where m is the very
+// identifier being ranged over (shrinking the map you are draining is
+// order-independent).
+func deleteFromRanged(pass *analysis.Pass, call *ast.CallExpr, rng *ast.RangeStmt) bool {
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.ObjectOf(fn).(*types.Builtin); !ok || b.Name() != "delete" {
+		return false
+	}
+	rangedIdent, ok := rng.X.(*ast.Ident)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	return ok && pass.TypesInfo.ObjectOf(arg) == pass.TypesInfo.ObjectOf(rangedIdent)
+}

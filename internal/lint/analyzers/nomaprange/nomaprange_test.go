@@ -1,0 +1,12 @@
+package nomaprange_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analyzers/nomaprange"
+	"repro/internal/lint/linttest"
+)
+
+func TestNoMapRange(t *testing.T) {
+	linttest.Run(t, nomaprange.Analyzer, "../../testdata/src/nomaprange", linttest.Config{SolverScope: true})
+}

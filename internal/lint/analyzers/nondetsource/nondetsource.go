@@ -1,0 +1,109 @@
+// Package nondetsource bans nondeterministic inputs on solver paths
+// and unstable reflection-based sorts everywhere.
+//
+// Repo-wide (every package, Pass.InSolverScope irrelevant): sort.Slice,
+// sort.SliceStable and sort.SliceIsSorted are flagged in favour of the
+// slices package — sort.Slice is an unstable sort (equal elements land
+// in scheduling-dependent order, exactly the drift PR 2 scrubbed from
+// the hot paths) and all three allocate through reflect.
+//
+// In solver scope only (Pass.InSolverScope, set by the driver for
+// SolverPackages minus detrand/serve/cmd): importing math/rand or
+// math/rand/v2 (randomness must come from internal/detrand, the seeded
+// deterministic source), and calling time.Now/Since/Until or
+// os.Getenv/LookupEnv/Environ (wall clock and environment reads make
+// output depend on when/where a solve runs). Escape with
+//
+//	//det:allow nondetsource <reason>
+package nondetsource
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nondetsource",
+	Doc:  "ban math/rand, wall-clock and environment reads in solver packages, and unstable sort.Slice repo-wide",
+	Run:  run,
+}
+
+// bannedCalls maps package path -> function name -> replacement hint
+// for the solver-scope call bans.
+var bannedCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "round/seed counters (solver output must not depend on wall clock)",
+		"Since": "round/seed counters (solver output must not depend on wall clock)",
+		"Until": "round/seed counters (solver output must not depend on wall clock)",
+	},
+	"os": {
+		"Getenv":    "explicit Params/Options fields (solver output must not depend on the environment)",
+		"LookupEnv": "explicit Params/Options fields (solver output must not depend on the environment)",
+		"Environ":   "explicit Params/Options fields (solver output must not depend on the environment)",
+	},
+}
+
+// unstableSorts maps the banned reflection sorts to their slices
+// replacements (repo-wide).
+var unstableSorts = map[string]string{
+	"Slice":         "slices.Sort/slices.SortFunc (sort.Slice is unstable: equal elements land in nondeterministic order, and it allocates through reflect)",
+	"SliceStable":   "slices.SortStableFunc (reflection-free, allocation-free comparator)",
+	"SliceIsSorted": "slices.IsSorted/slices.IsSortedFunc",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if pass.InSolverScope {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					pass.Reportf(imp.Pos(), "import of %s in a solver package: draw randomness from internal/detrand so results are seed-reproducible", path)
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := packageQualifier(pass, sel)
+			if !ok {
+				return true
+			}
+			if pkgPath == "sort" {
+				if hint, bad := unstableSorts[sel.Sel.Name]; bad {
+					pass.Reportf(sel.Pos(), "sort.%s: use %s", sel.Sel.Name, hint)
+					return true
+				}
+			}
+			if pass.InSolverScope {
+				if hint, bad := bannedCalls[pkgPath][sel.Sel.Name]; bad {
+					pass.Reportf(sel.Pos(), "%s.%s in a solver package: use %s", pkgPath, sel.Sel.Name, hint)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageQualifier resolves sel's X to an imported package name, so
+// `sort.Slice` matches the sort package regardless of local renaming
+// while a user-defined type with a Slice method does not.
+func packageQualifier(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.TypesInfo.ObjectOf(id).(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

@@ -1,0 +1,21 @@
+package nondetsource_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analyzers/nondetsource"
+	"repro/internal/lint/linttest"
+)
+
+// TestSolverScope exercises the full ban set as it applies inside
+// SolverPackages: math/rand imports, wall-clock and environment reads,
+// and the repo-wide unstable sorts.
+func TestSolverScope(t *testing.T) {
+	linttest.Run(t, nondetsource.Analyzer, "../../testdata/src/nondetsource", linttest.Config{SolverScope: true})
+}
+
+// TestRepoWideScope exercises the serving/command-layer view: only the
+// unstable-sort ban fires; clocks, environment and math/rand pass.
+func TestRepoWideScope(t *testing.T) {
+	linttest.Run(t, nondetsource.Analyzer, "../../testdata/src/nondetrepowide", linttest.Config{SolverScope: false})
+}

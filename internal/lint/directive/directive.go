@@ -1,0 +1,202 @@
+// Package directive parses the //det: comment directives that tune the
+// detlint analyzer suite:
+//
+//	//det:allow <analyzer> <reason>   — suppress <analyzer> diagnostics on
+//	                                    one line. As a trailing comment it
+//	                                    covers its own line; on a line of
+//	                                    its own it covers the next line.
+//	                                    The reason is mandatory, so every
+//	                                    exemption in the tree is greppable
+//	                                    AND explained.
+//	//det:hotpath [note]              — marks a function as an allocation-
+//	                                    free hot path; must appear in the
+//	                                    doc comment of a function
+//	                                    declaration. The hotalloc analyzer
+//	                                    flags allocating constructs inside.
+//
+// Malformed directives are never silently ignored: a //det: comment that
+// does not parse, names no analyzer, carries no reason, or sits in a
+// position where it cannot apply produces a Problem, which the driver
+// reports as a diagnostic of its own. A typo'd suppression that silently
+// suppressed nothing would be worse than no suppression at all.
+package directive
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix is the comment marker shared by all detlint directives.
+const Prefix = "//det:"
+
+// Kind discriminates the directive verbs.
+type Kind int
+
+const (
+	Allow Kind = iota
+	HotPath
+)
+
+// Directive is one well-formed //det: comment.
+type Directive struct {
+	Kind     Kind
+	Analyzer string // Allow: analyzer name the suppression targets
+	Reason   string // Allow: mandatory justification
+	Pos      token.Pos
+	// Line is the source line the directive applies to: the comment's own
+	// line for a trailing directive, the following line for a directive
+	// on a line of its own. Zero for HotPath (which binds to a FuncDecl,
+	// not a line).
+	Line int
+	// Func is the function a HotPath directive annotates; nil when the
+	// directive is misplaced (reported as a Problem instead).
+	Func *ast.FuncDecl
+}
+
+// Problem is a malformed or misplaced directive.
+type Problem struct {
+	Pos     token.Pos
+	Message string
+}
+
+// File is the parse result for one source file.
+type File struct {
+	Allows   []Directive
+	HotPaths []Directive
+	Problems []Problem
+}
+
+// ParseFile extracts the detlint directives of one file. src must be the
+// file's source bytes (used to decide trailing vs own-line placement);
+// fset must be the FileSet file was parsed with.
+func ParseFile(fset *token.FileSet, file *ast.File, src []byte) *File {
+	out := &File{}
+	hotDocs := hotpathDocs(file)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, Prefix) {
+				// A near-miss like "// det:allow" or "//det :allow" is a
+				// directive that will never fire; catch the common slips.
+				if isNearMiss(text) {
+					out.Problems = append(out.Problems, Problem{
+						Pos:     c.Pos(),
+						Message: fmt.Sprintf("malformed detlint directive %q: directives are spelled //det:<verb> with no spaces", firstWords(text)),
+					})
+				}
+				continue
+			}
+			if strings.HasPrefix(text, "/*") {
+				out.Problems = append(out.Problems, Problem{
+					Pos:     c.Pos(),
+					Message: "detlint directives must be line comments (//det:...), not block comments",
+				})
+				continue
+			}
+			rest := strings.TrimPrefix(text, Prefix)
+			verb, args, _ := strings.Cut(rest, " ")
+			switch verb {
+			case "allow":
+				d, prob := parseAllow(c, args)
+				if prob != nil {
+					out.Problems = append(out.Problems, *prob)
+					continue
+				}
+				d.Line = appliesToLine(fset, c, src)
+				out.Allows = append(out.Allows, d)
+			case "hotpath":
+				fn, ok := hotDocs[c]
+				if !ok {
+					out.Problems = append(out.Problems, Problem{
+						Pos:     c.Pos(),
+						Message: "misplaced //det:hotpath: the directive must appear in the doc comment of a function declaration",
+					})
+					continue
+				}
+				out.HotPaths = append(out.HotPaths, Directive{Kind: HotPath, Pos: c.Pos(), Func: fn})
+			default:
+				out.Problems = append(out.Problems, Problem{
+					Pos:     c.Pos(),
+					Message: fmt.Sprintf("unknown detlint directive //det:%s (want allow or hotpath)", verb),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func parseAllow(c *ast.Comment, args string) (Directive, *Problem) {
+	fields := strings.Fields(args)
+	if len(fields) == 0 {
+		return Directive{}, &Problem{
+			Pos:     c.Pos(),
+			Message: "malformed //det:allow: want //det:allow <analyzer> <reason>",
+		}
+	}
+	if len(fields) == 1 {
+		return Directive{}, &Problem{
+			Pos:     c.Pos(),
+			Message: fmt.Sprintf("//det:allow %s is missing its reason: every exemption must say why (//det:allow %s <reason>)", fields[0], fields[0]),
+		}
+	}
+	return Directive{
+		Kind:     Allow,
+		Analyzer: fields[0],
+		Reason:   strings.Join(fields[1:], " "),
+		Pos:      c.Pos(),
+	}, nil
+}
+
+// appliesToLine decides which source line an allow directive covers: its
+// own line when code precedes the comment (trailing form), the next line
+// when only whitespace does (own-line form).
+func appliesToLine(fset *token.FileSet, c *ast.Comment, src []byte) int {
+	pos := fset.Position(c.Pos())
+	lineStart := pos.Offset - (pos.Column - 1)
+	prefix := src[lineStart:pos.Offset]
+	if len(bytes.TrimSpace(prefix)) == 0 {
+		return pos.Line + 1
+	}
+	return pos.Line
+}
+
+// hotpathDocs maps each comment that lives inside a FuncDecl doc group
+// to its function, so hotpath placement can be validated.
+func hotpathDocs(file *ast.File) map[*ast.Comment]*ast.FuncDecl {
+	out := make(map[*ast.Comment]*ast.FuncDecl)
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Doc == nil {
+			continue
+		}
+		for _, c := range fn.Doc.List {
+			out[c] = fn
+		}
+	}
+	return out
+}
+
+// isNearMiss reports whether a comment looks like a mistyped detlint
+// directive: "// det:...", "//det :...", "//Det:...".
+func isNearMiss(text string) bool {
+	t := strings.TrimPrefix(strings.TrimPrefix(text, "//"), "/*")
+	t = strings.TrimSpace(t)
+	lower := strings.ToLower(t)
+	if !strings.HasPrefix(lower, "det") {
+		return false
+	}
+	rest := strings.TrimSpace(t[3:])
+	return strings.HasPrefix(rest, ":") || strings.HasPrefix(lower, "det:")
+}
+
+// firstWords trims a comment to a short quotable prefix.
+func firstWords(text string) string {
+	text = strings.TrimSpace(text)
+	if len(text) > 40 {
+		text = text[:40] + "..."
+	}
+	return text
+}

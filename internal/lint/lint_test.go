@@ -1,0 +1,104 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analyzers/nogoroutine"
+	"repro/internal/lint/linttest"
+)
+
+// TestScopeFor pins the scope table: which analyzers run on which
+// layers of the module, and which packages carry the full solver
+// contract.
+func TestScopeFor(t *testing.T) {
+	const mod = "repro"
+	cases := []struct {
+		pkg    string
+		solver bool
+		want   []string
+	}{
+		{"repro/internal/core", true,
+			[]string{"nogoroutine", "nomaprange", "nondetsource", "floatfold", "hotalloc"}},
+		{"repro/internal/sparsify", true,
+			[]string{"nogoroutine", "nomaprange", "nondetsource", "floatfold", "hotalloc"}},
+		// The worker pool is the one place raw goroutines live, and
+		// flagging its own fold plumbing would be circular.
+		{"repro/internal/parallel", false,
+			[]string{"nondetsource", "hotalloc"}},
+		// Serving layer: goroutines are the product; not a solver
+		// package, so map ranges are allowed (its maps are config).
+		{"repro/internal/serve", false,
+			[]string{"nondetsource", "floatfold", "hotalloc"}},
+		// Command layer: exempt from the goroutine ban, still subject
+		// to the repo-wide unstable-sort ban.
+		{"repro/cmd/detserve", false,
+			[]string{"nondetsource", "floatfold", "hotalloc"}},
+		// Ordinary non-solver library code keeps the goroutine ban.
+		{"repro/internal/lint", false,
+			[]string{"nogoroutine", "nondetsource", "floatfold", "hotalloc"}},
+	}
+	for _, c := range cases {
+		s := lint.ScopeFor(mod, c.pkg)
+		if s.Solver != c.solver {
+			t.Errorf("ScopeFor(%s).Solver = %v, want %v", c.pkg, s.Solver, c.solver)
+		}
+		var got []string
+		for _, a := range s.Analyzers {
+			got = append(got, a.Name)
+		}
+		if strings.Join(got, ",") != strings.Join(c.want, ",") {
+			t.Errorf("ScopeFor(%s) analyzers = %v, want %v", c.pkg, got, c.want)
+		}
+	}
+}
+
+// TestDirectiveValidation runs the production suppression path over the
+// directive fixture and pins the full diagnostic table: malformed,
+// misplaced, unknown-analyzer and unused directives each surface as a
+// detdirective diagnostic; the valid trailing allow is consumed
+// silently. (These diagnostics land on the directive lines themselves,
+// where a // want comment cannot coexist with the directive comment,
+// so this table is asserted directly instead of through linttest.Run.)
+func TestDirectiveValidation(t *testing.T) {
+	pkg, err := linttest.Fixture("testdata/src/directive")
+	if err != nil {
+		t.Fatalf("loading directive fixture: %v", err)
+	}
+	diags := lint.RunOne(pkg, nogoroutine.Analyzer, false)
+
+	type want struct {
+		line     int
+		analyzer string
+		substr   string
+	}
+	wants := []want{
+		{7, "detdirective", "malformed //det:allow: want //det:allow <analyzer> <reason>"},
+		{10, "detdirective", "missing its reason"},
+		{13, "detdirective", `unknown analyzer "frobnicate"`},
+		{16, "detdirective", "unknown detlint directive //det:frobnicate"},
+		{20, "detdirective", "misplaced //det:hotpath"},
+		{26, "detdirective", "malformed detlint directive"},
+		{27, "nogoroutine", "raw go statement"},
+		{30, "detdirective", "unused //det:allow nogoroutine"},
+	}
+
+	matched := make([]bool, len(wants))
+outer:
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		for i, w := range wants {
+			if !matched[i] && pos.Line == w.line && d.Analyzer == w.analyzer && strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				continue outer
+			}
+		}
+		t.Errorf("unexpected diagnostic at line %d: [%s] %s", pos.Line, d.Analyzer, d.Message)
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("line %d: missing [%s] diagnostic containing %q", w.line, w.analyzer, w.substr)
+		}
+	}
+}

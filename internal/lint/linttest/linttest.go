@@ -1,0 +1,244 @@
+// Package linttest runs one analyzer over a fixture package and
+// compares the diagnostics against `// want` expectations, in the style
+// of golang.org/x/tools/go/analysis/analysistest (which the
+// dependency-free module cannot import).
+//
+// Fixtures live under internal/lint/testdata/src/<name>/ — a directory
+// of ordinary Go files forming one package, excluded from the build by
+// the testdata convention. A line that should be flagged carries a
+// trailing comment
+//
+//	code // want "regexp" "second regexp"
+//
+// with one double-quoted regexp per expected diagnostic on that line.
+// Every expectation must be matched by a diagnostic and every
+// diagnostic must match an expectation; fixtures without want comments
+// double as the non-flagging half of the table. Diagnostics flow
+// through lint.RunOne, so //det:allow suppression behaves exactly as in
+// the production driver and fixtures can assert it.
+//
+// Fixture imports resolve against the real module: a fixture may
+// import repro/internal/parallel (floatfold fixtures do) and any std
+// package; the shared loader type-checks them on first use.
+package linttest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Config tunes one fixture run.
+type Config struct {
+	// SolverScope sets Pass.InSolverScope, as the driver would for a
+	// solver package.
+	SolverScope bool
+}
+
+// Run type-checks the fixture package at dir (relative paths resolve
+// against the caller's working directory, i.e. the test's package
+// directory) and asserts analyzer a's diagnostics against the // want
+// expectations.
+func Run(t *testing.T, a *analysis.Analyzer, dir string, cfg Config) {
+	t.Helper()
+	pkg, err := loadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags := lint.RunOne(pkg, a, cfg.SolverScope)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for path, src := range pkg.Src {
+		for i, line := range strings.Split(string(src), "\n") {
+			res, err := parseWants(line)
+			if err != nil {
+				t.Fatalf("%s:%d: %v", path, i+1, err)
+			}
+			if len(res) > 0 {
+				wants[key{path, i + 1}] = res
+			}
+		}
+	}
+
+	matched := make(map[key][]bool)
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		found := false
+		for i, re := range wants[k] {
+			if !matched[k][i] && re.MatchString(d.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// wantRE matches the trailing `// want "..." "..."` comment. Patterns
+// may be double-quoted or backquoted (strconv.Unquote handles both).
+var wantRE = regexp.MustCompile("// want ([\"`].*)\\s*$")
+
+func parseWants(line string) ([]*regexp.Regexp, error) {
+	m := wantRE.FindStringSubmatch(line)
+	if m == nil {
+		return nil, nil
+	}
+	var out []*regexp.Regexp
+	rest := m[1]
+	for rest != "" {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want pattern %q: %v", rest, err)
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want pattern %q: %v", q, err)
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("want pattern %q: %v", pat, err)
+		}
+		out = append(out, re)
+		rest = rest[len(q):]
+	}
+	return out, nil
+}
+
+// Fixture type-checks a fixture directory and returns the loaded
+// package without running any analyzer, for tests that assert on
+// lint.RunOne output directly (the directive-validation table reports
+// diagnostics on the directive lines themselves, where a // want
+// comment cannot coexist with the directive comment).
+func Fixture(dir string) (*load.Package, error) {
+	return loadFixture(dir)
+}
+
+var (
+	fixtureMu    sync.Mutex
+	fixtureCache = make(map[string]*load.Package)
+	universe     *load.Result
+)
+
+// loadFixture parses and type-checks one fixture directory, resolving
+// its imports against a lazily-loaded universe of real packages.
+func loadFixture(dir string) (*load.Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	if p, ok := fixtureCache[abs]; ok {
+		return p, nil
+	}
+
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(abs, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", abs)
+	}
+
+	if universe == nil {
+		// One load serves every fixture: the whole module plus every
+		// package any fixture under testdata imports (fixtures are outside
+		// the module's build closure, so their std imports — math/rand in
+		// the nondetsource table — must be named explicitly).
+		root, err := moduleRoot(abs)
+		if err != nil {
+			return nil, err
+		}
+		patterns := append([]string{"./..."}, fixtureImports(filepath.Join(root, "internal", "lint", "testdata"))...)
+		universe, err = load.Load(root, patterns...)
+		if err != nil {
+			return nil, fmt.Errorf("loading import universe: %v", err)
+		}
+	}
+
+	pkg, err := load.CheckFiles(universe, "repro/internal/lint/testdata/"+filepath.Base(abs), files)
+	if err != nil {
+		return nil, err
+	}
+	fixtureCache[abs] = pkg
+	return pkg, nil
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// fixtureImports collects the union of import paths across every
+// fixture file under root, so the universe load covers them.
+func fixtureImports(root string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	_ = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil // the fixture's own test will surface the parse error
+		}
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+		return nil
+	})
+	slices.Sort(out)
+	return out
+}

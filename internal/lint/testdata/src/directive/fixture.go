@@ -1,0 +1,35 @@
+// Fixture for det: directive validation: malformed, misplaced and
+// unused directives each produce a detdirective diagnostic. Run under
+// the nogoroutine analyzer so the valid allow at the bottom is
+// consumed.
+package directive
+
+//det:allow
+func missingAnalyzer() {} // the directive above lacks an analyzer name
+
+//det:allow nogoroutine
+func missingReason() {}
+
+//det:allow frobnicate some reason for an analyzer that does not exist
+func unknownAnalyzer() {}
+
+//det:frobnicate whatever
+func unknownVerb() {}
+
+func misplacedHotpath() {
+	//det:hotpath
+	x := 1
+	_ = x
+}
+
+func nearMiss(f func()) {
+	// det:allow nogoroutine the space after the slashes defeats the parser
+	go f() // flagged: the near-miss above suppressed nothing
+}
+
+//det:allow nogoroutine reason present but nothing on the next line needs it
+func unusedAllow() {}
+
+func consumedAllow(f func()) {
+	go f() //det:allow nogoroutine fixture: valid trailing allow, consumed
+}

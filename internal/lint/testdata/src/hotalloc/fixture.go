@@ -1,0 +1,73 @@
+// Fixture for the hotalloc analyzer: functions carrying a det:hotpath
+// doc directive must not allocate per call; un-annotated functions and
+// annotated escape hatches are left alone.
+package hotalloc
+
+//det:hotpath
+func appendInLoop(dst, src []uint64) []uint64 {
+	for _, x := range src {
+		dst = append(dst, x^0x9e3779b9) // want `append in //det:hotpath appendInLoop`
+	}
+	return dst
+}
+
+//det:hotpath
+func freshBuffers(n int) ([]uint32, map[uint32]int, *int) {
+	buf := make([]uint32, n) // want `make in //det:hotpath freshBuffers`
+	idx := map[uint32]int{}  // want `map literal in //det:hotpath freshBuffers`
+	counter := new(int)      // want `new in //det:hotpath freshBuffers`
+	return buf, idx, counter
+}
+
+//det:hotpath
+func sliceLiteral() []int {
+	return []int{1, 2, 3} // want `slice literal in //det:hotpath sliceLiteral`
+}
+
+//det:hotpath
+func capturingClosure(xs []int) func() int {
+	total := 0
+	f := func() int { // want `capturing closure in //det:hotpath capturingClosure`
+		total += len(xs)
+		return total
+	}
+	return f
+}
+
+//det:hotpath with a trailing note about the inner fold kernel
+func annotatedWithNote(dst []int) []int {
+	return append(dst, 1) // want `append in //det:hotpath annotatedWithNote`
+}
+
+//det:hotpath
+func allowedGrowth(dst, src []byte) []byte {
+	//det:allow hotalloc fixture: growth only on first call, reused after
+	dst = append(dst, src...)
+	return dst
+}
+
+// clean: hotpath code writing into caller-provided storage.
+//
+//det:hotpath
+func intoCaller(dst []uint64, src []uint64) {
+	for i, x := range src {
+		dst[i] = x * 0x9e3779b97f4a7c15
+	}
+}
+
+// clean: closures that capture nothing from the enclosing function are
+// static and allocation-free after the first call.
+//
+//det:hotpath
+func staticClosure() func(int) int {
+	return func(x int) int { return x + 1 }
+}
+
+// clean: no annotation, no constraint — cold paths may allocate freely.
+func coldPath(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

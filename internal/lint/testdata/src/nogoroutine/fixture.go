@@ -1,0 +1,46 @@
+// Fixture for the nogoroutine analyzer: raw go statements and
+// sync.WaitGroup fan-out are flagged; mutexes, channels as values, and
+// annotated escapes are not.
+package nogoroutine
+
+import "sync"
+
+func fanOut(work []int) {
+	var wg sync.WaitGroup // want `sync\.WaitGroup fan-out`
+	for range work {
+		wg.Add(1)
+		go func() { // want `raw go statement`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func parameterized(wg *sync.WaitGroup) { // want `sync\.WaitGroup fan-out`
+	wg.Done()
+}
+
+func spawn(f func()) {
+	go f() // want `raw go statement`
+}
+
+func annotated(f func()) {
+	go f() //det:allow nogoroutine fixture: sanctioned background drain
+}
+
+func annotatedOwnLine(f func()) {
+	//det:allow nogoroutine fixture: sanctioned background drain
+	go f()
+}
+
+// clean constructs: locks and channel plumbing without fan-out.
+func clean(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}

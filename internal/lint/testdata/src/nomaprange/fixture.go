@@ -1,0 +1,85 @@
+// Fixture for the nomaprange analyzer: order-sensitive map iteration is
+// flagged, provably order-insensitive aggregation and non-map ranges
+// are not.
+package nomaprange
+
+type nodeID uint32
+
+func collect(m map[nodeID][]nodeID) []nodeID {
+	var out []nodeID
+	for v := range m { // want `range over map m`
+		out = append(out, v)
+	}
+	return out
+}
+
+func viaFunc(get func() map[int]int) int {
+	last := 0
+	for _, v := range get() { // want `range over map get\(\)`
+		last = v
+	}
+	return last
+}
+
+func floatSum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `range over map m`
+		sum += v // float folds are order-sensitive
+	}
+	return sum
+}
+
+func readsAccumulator(m map[int]int) int {
+	acc := 1
+	for _, v := range m { // want `range over map m`
+		acc += acc * v
+	}
+	return acc
+}
+
+func annotated(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	//det:allow nomaprange fixture: consumer sorts downstream
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// clean constructs below: integer aggregation, draining deletes, and
+// slice ranges are order-insensitive.
+
+func count(m map[int][]int) (n int, words int) {
+	for _, v := range m {
+		n++
+		words += len(v)
+	}
+	return
+}
+
+func bits(m map[int]uint64) uint64 {
+	var or uint64
+	for _, v := range m {
+		or |= v
+	}
+	return or
+}
+
+func drain(m map[int]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func sliceRange(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+func emptyBody(m map[int]int) {
+	for range m {
+	}
+}

@@ -1,0 +1,23 @@
+// Fixture for the nondetsource analyzer OUTSIDE solver scope (the
+// serving/command layers): the unstable-sort ban still applies, but
+// clocks, environment and math/rand are legitimate there.
+package nondetrepowide
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func unstable(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort\.Slice: use slices\.Sort`
+}
+
+// clean in this scope: serving code measures latency and reads config.
+func latency() (time.Duration, string, int) {
+	start := time.Now()
+	addr := os.Getenv("ADDR")
+	jitter := rand.Int()
+	return time.Since(start), addr, jitter
+}

@@ -1,0 +1,48 @@
+// Fixture for the nondetsource analyzer in SOLVER scope: math/rand
+// imports, wall-clock reads, environment reads and unstable sorts are
+// all flagged; deterministic time arithmetic is not.
+package nondetsource
+
+import (
+	"math/rand" // want `import of math/rand in a solver package`
+	"os"
+	"sort"
+	"time"
+)
+
+func draw() int {
+	return rand.Int()
+}
+
+func stamp() int64 {
+	t := time.Now() // want `time\.Now in a solver package`
+	return t.Unix()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since in a solver package`
+}
+
+func fromEnv() string {
+	return os.Getenv("SEED") // want `os\.Getenv in a solver package`
+}
+
+func unstable(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort\.Slice: use slices\.Sort`
+}
+
+func alsoBanned(xs []int) bool {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] })          // want `sort\.SliceStable: use slices\.SortStableFunc`
+	return sort.SliceIsSorted(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort\.SliceIsSorted: use slices\.IsSorted`
+}
+
+func annotated() string {
+	return os.Getenv("DEBUG_DUMP_DIR") //det:allow nondetsource fixture: debug-only escape hatch
+}
+
+// clean constructs: duration arithmetic and stable std sorts keep
+// solver output independent of wall clock and environment.
+func clean(d time.Duration, xs []int) time.Duration {
+	sort.Ints(xs)
+	return 2 * d
+}

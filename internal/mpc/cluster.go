@@ -21,6 +21,7 @@ package mpc
 
 import (
 	"fmt"
+	"maps"
 	"slices"
 
 	"repro/internal/parallel"
@@ -59,9 +60,7 @@ type Stats struct {
 // label their rounds, e.g. "sort", "prefixsum").
 func (s Stats) RoundsByLabel() map[string]int {
 	out := make(map[string]int, len(s.roundsByLabel))
-	for k, v := range s.roundsByLabel {
-		out[k] = v
-	}
+	maps.Copy(out, s.roundsByLabel)
 	return out
 }
 

@@ -2,7 +2,7 @@ package mpcgraph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -33,6 +33,13 @@ type StepResult struct {
 	SeedIndex  int      // index of the elected seed within the batch
 	SeedCounts []uint64 // per-seed |E_h| totals from the AllReduce
 	Stats      mpc.Stats
+}
+
+// adjRows is one machine's decoded adjacency view: nbrs for random
+// access, order for deterministic iteration (store order).
+type adjRows struct {
+	order []graph.NodeID
+	nbrs  map[graph.NodeID][]graph.NodeID
 }
 
 // DetLubyMatchingStep runs the protocol on g over a cluster of the given
@@ -77,9 +84,12 @@ func DetLubyMatchingStep(g *graph.Graph, machines, space, batch int) (*StepResul
 		}
 	}
 
-	// Decode helper: adjacency rows held by one machine.
-	decodeRows := func(s []uint64) map[graph.NodeID][]graph.NodeID {
-		rows := map[graph.NodeID][]graph.NodeID{}
+	// Decode helper: adjacency rows held by one machine, as a lookup map
+	// plus the node order the rows were stored in — every loop below walks
+	// the order slice, never the map, so the protocol's message and
+	// evaluation order is a pure function of the store contents.
+	decodeRows := func(s []uint64) adjRows {
+		rows := adjRows{nbrs: map[graph.NodeID][]graph.NodeID{}}
 		i := 0
 		for i < len(s) {
 			v := graph.NodeID(s[i])
@@ -88,7 +98,8 @@ func DetLubyMatchingStep(g *graph.Graph, machines, space, batch int) (*StepResul
 			for j := 0; j < d; j++ {
 				nbrs[j] = graph.NodeID(s[i+2+j])
 			}
-			rows[v] = nbrs
+			rows.nbrs[v] = nbrs
+			rows.order = append(rows.order, v)
 			i += 2 + d
 		}
 		return rows
@@ -99,19 +110,25 @@ func DetLubyMatchingStep(g *graph.Graph, machines, space, batch int) (*StepResul
 	if err := c.Round("collect.request", func(ctx *mpc.MachineCtx) {
 		rows := decodeRows(ctx.Store())
 		wanted := map[graph.NodeID]bool{}
-		for v, nbrs := range rows {
-			for _, u := range nbrs {
-				if v < u && owner(u) != ctx.ID {
+		var wantOrder []graph.NodeID
+		for _, v := range rows.order {
+			for _, u := range rows.nbrs[v] {
+				if v < u && owner(u) != ctx.ID && !wanted[u] {
 					wanted[u] = true
+					wantOrder = append(wantOrder, u)
 				}
 			}
 		}
 		byOwner := map[int][]uint64{}
-		for u := range wanted {
+		for _, u := range wantOrder {
 			byOwner[owner(u)] = append(byOwner[owner(u)], uint64(u))
 		}
-		for to, req := range byOwner {
-			sort.Slice(req, func(i, j int) bool { return req[i] < req[j] })
+		for to := 0; to < machines; to++ {
+			req := byOwner[to]
+			if len(req) == 0 {
+				continue
+			}
+			slices.Sort(req)
 			ctx.Send(to, append([]uint64{uint64(ctx.ID)}, req...))
 		}
 	}); err != nil {
@@ -129,7 +146,7 @@ func DetLubyMatchingStep(g *graph.Graph, machines, space, batch int) (*StepResul
 			var out []uint64
 			for _, w := range msg[1:] {
 				v := graph.NodeID(w)
-				nbrs := rows[v]
+				nbrs := rows.nbrs[v]
 				out = append(out, uint64(v), uint64(len(nbrs)))
 				for _, u := range nbrs {
 					out = append(out, uint64(u))
@@ -152,13 +169,14 @@ func DetLubyMatchingStep(g *graph.Graph, machines, space, batch int) (*StepResul
 		local := decodeRows(ctx.Store())
 		rem := map[graph.NodeID][]graph.NodeID{}
 		for _, msg := range ctx.Inbox {
-			for v, nbrs := range decodeRows(msg) {
-				rem[v] = nbrs
+			dec := decodeRows(msg)
+			for _, v := range dec.order {
+				rem[v] = dec.nbrs[v]
 			}
 		}
 		remote[ctx.ID] = rem
 		neighbourhood := func(v graph.NodeID) []graph.NodeID {
-			if nbrs, ok := local[v]; ok {
+			if nbrs, ok := local.nbrs[v]; ok {
 				return nbrs
 			}
 			return rem[v]
@@ -170,8 +188,8 @@ func DetLubyMatchingStep(g *graph.Graph, machines, space, batch int) (*StepResul
 				key := e.Key(n)
 				return core.ZKey{Z: fam.Eval(seed, core.SlotKey(key, 0, n)), ID: key}
 			}
-			for v, nbrs := range local {
-				for _, u := range nbrs {
+			for _, v := range local.order {
+				for _, u := range local.nbrs[v] {
 					if v >= u {
 						continue // not the canonical holder
 					}
@@ -227,7 +245,7 @@ func DetLubyMatchingStep(g *graph.Graph, machines, space, batch int) (*StepResul
 		local := decodeRows(ctx.Store())
 		rem := remote[ctx.ID]
 		neighbourhood := func(v graph.NodeID) []graph.NodeID {
-			if nbrs, ok := local[v]; ok {
+			if nbrs, ok := local.nbrs[v]; ok {
 				return nbrs
 			}
 			return rem[v]
@@ -239,8 +257,8 @@ func DetLubyMatchingStep(g *graph.Graph, machines, space, batch int) (*StepResul
 			return core.ZKey{Z: fam.Eval(seed, core.SlotKey(key, 0, n)), ID: key}
 		}
 		var out []uint64
-		for v, nbrs := range local {
-			for _, u := range nbrs {
+		for _, v := range local.order {
+			for _, u := range local.nbrs[v] {
 				if v >= u {
 					continue
 				}
@@ -283,11 +301,11 @@ func DetLubyMatchingStep(g *graph.Graph, machines, space, batch int) (*StepResul
 	}); err != nil {
 		return nil, err
 	}
-	sort.Slice(matched, func(i, j int) bool {
-		if matched[i].U != matched[j].U {
-			return matched[i].U < matched[j].U
+	slices.SortFunc(matched, func(a, b graph.Edge) int {
+		if a.U != b.U {
+			return int(a.U) - int(b.U)
 		}
-		return matched[i].V < matched[j].V
+		return int(a.V) - int(b.V)
 	})
 	return &StepResult{
 		Matching:   matched,

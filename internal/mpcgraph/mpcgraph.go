@@ -18,7 +18,7 @@ package mpcgraph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/mpc"
@@ -213,7 +213,7 @@ func (d *DistGraph) CollectNeighborhood(v graph.NodeID) ([]graph.NodeID, error) 
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	slices.Sort(nbrs)
 	return nbrs, nil
 }
 
